@@ -1,0 +1,14 @@
+"""Benchmark/regeneration of Fig. 10 (accuracy as a function of k)."""
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, once):
+    result = once(benchmark, fig10.run, k_values=(1, 3, 5, 7, 9, 11))
+    print()
+    print(fig10.render(result))
+    for program, series in result.accuracy.items():
+        # Accuracy converges by k = 5 and never degrades afterwards.
+        assert series[5] >= series[1]
+        assert series[11] >= 0.9
+        assert series[5] >= 0.9

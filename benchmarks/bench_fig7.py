@@ -1,0 +1,22 @@
+"""Benchmark/regeneration of Fig. 7 (accuracy breakdown per technique)."""
+
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, once):
+    result = once(benchmark, fig7.run)
+    print()
+    print(fig7.render(result))
+    for program, series in result.accuracy.items():
+        # Accuracy must not decrease as techniques are added, and the full
+        # analysis must beat single-path analysis for every program.
+        assert series["+multi-schedule"] >= series["single-path"]
+        assert series["+multi-schedule"] >= 0.9
+    # bbuf's output-differs races are invisible to single-path analysis.
+    assert result.accuracy["bbuf"]["single-path"] <= 0.2
+    # memcached's gain comes almost entirely from ad-hoc synchronisation
+    # detection (16 of its 18 races are single-ordering).
+    assert (
+        result.accuracy["memcached"]["+adhoc-detection"]
+        > result.accuracy["memcached"]["single-path"]
+    )

@@ -1,0 +1,20 @@
+"""Benchmark/regeneration of Fig. 9 (classification time scaling)."""
+
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark, once):
+    samples = once(benchmark, fig9.run)
+    print()
+    print(fig9.render(samples))
+    assert len(samples) == 93
+    # Classification time grows with the amount of work: the most expensive
+    # quartile of races (by preemptions + branches) costs more on average
+    # than the cheapest quartile.
+    ordered = sorted(
+        samples, key=lambda s: (s.preemption_points, s.dependent_branches)
+    )
+    quarter = max(1, len(ordered) // 4)
+    cheap = sum(s.classification_seconds for s in ordered[:quarter]) / quarter
+    costly = sum(s.classification_seconds for s in ordered[-quarter:]) / quarter
+    assert costly >= cheap

@@ -1,0 +1,10 @@
+"""Benchmark/regeneration of Table 1 (program inventory)."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, once):
+    rows = once(benchmark, table1.run)
+    print()
+    print(table1.render(rows))
+    assert len(rows) == 11

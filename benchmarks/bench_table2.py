@@ -1,0 +1,15 @@
+"""Benchmark/regeneration of Table 2 ("spec violated" races and consequences)."""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, once):
+    rows = once(benchmark, table2.run)
+    print()
+    print(table2.render(rows))
+    by_program = {row.program: row for row in rows}
+    assert by_program["SQLite"].deadlocks == 1
+    assert by_program["pbzip2"].crashes == 3
+    assert by_program["ctrace"].crashes == 1
+    assert by_program["memcached"].crashes == 1
+    assert by_program["fmm"].semantic == 1

@@ -1,0 +1,15 @@
+"""Benchmark/regeneration of Table 3 (classification of all 93 races)."""
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, once):
+    rows = once(benchmark, table3.run)
+    print()
+    print(table3.render(rows))
+    assert sum(row.distinct_races for row in rows) == 93
+    by_program = {row.program: row for row in rows}
+    assert by_program["pbzip2"].single_ordering == 25
+    assert by_program["memcached"].single_ordering == 16
+    assert by_program["ctrace"].output_differs == 10
+    assert by_program["bbuf"].output_differs == 6

@@ -1,0 +1,11 @@
+"""Benchmark/regeneration of Table 4 (classification time per race)."""
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, once):
+    rows = once(benchmark, table4.run)
+    print()
+    print(table4.render(rows))
+    assert len(rows) == 11
+    assert all(row.max_classification_seconds >= row.min_classification_seconds for row in rows)

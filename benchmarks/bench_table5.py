@@ -1,0 +1,31 @@
+"""Benchmark/regeneration of Table 5 (accuracy per approach and category)."""
+
+from repro.core.categories import RaceClass
+from repro.experiments import table5
+
+
+def test_table5(benchmark, once):
+    result = once(benchmark, table5.run)
+    print()
+    print(table5.render(result))
+
+    def accuracy(counters, cls):
+        correct, total = counters[cls]
+        return 1.0 if total == 0 else correct / total
+
+    # Portend is highly accurate across every category...
+    for cls in (RaceClass.SPEC_VIOLATED, RaceClass.SINGLE_ORDERING, RaceClass.OUTPUT_DIFFERS):
+        assert accuracy(result.portend, cls) >= 0.9
+    # ...while the replay analyzer misclassifies a large share of the
+    # single-ordering and k-witness races (replay failures / state
+    # differences => "harmful"), staying well below Portend.
+    assert (
+        accuracy(result.replay_analyzer, RaceClass.SINGLE_ORDERING)
+        < accuracy(result.portend, RaceClass.SINGLE_ORDERING)
+    )
+    assert accuracy(result.replay_analyzer, RaceClass.SINGLE_ORDERING) <= 0.7
+    # On output-differs races the binary harmful/harmless verdict cannot do
+    # better than chance either (the paper reports 0%).
+    assert accuracy(result.replay_analyzer, RaceClass.OUTPUT_DIFFERS) <= 0.7
+    # The ad-hoc detectors only handle the single-ordering category.
+    assert accuracy(result.adhoc_detector, RaceClass.OUTPUT_DIFFERS) == 0.0

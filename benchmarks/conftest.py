@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+it, so running ``pytest benchmarks/ --benchmark-only -s`` both measures the
+cost of the analysis and emits the reproduced rows/series (see
+EXPERIMENTS.md for the expected shapes).
+"""
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

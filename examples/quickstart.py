@@ -1,0 +1,50 @@
+"""Quickstart: build a small racy program, detect its races, and triage them.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import Portend, PortendConfig
+from repro.lang import ProgramBuilder
+from repro.lang.ast import add, arr, glob, local
+
+
+def build_program():
+    """A tiny job queue: a worker publishes results that main consumes eagerly."""
+    b = ProgramBuilder("quickstart")
+    b.global_var("results_ready", 0)
+    b.global_var("result_count", 0)
+    b.array("results", 4)
+
+    worker = b.function("worker")
+    worker.assign(arr("results", 0), 11, label="queue.c:10")
+    worker.assign(arr("results", 1), 22, label="queue.c:11")
+    worker.assign(glob("result_count"), 2, label="queue.c:12")
+    worker.ret()
+
+    main = b.function("main")
+    main.spawn("t", "worker", label="queue.c:20")
+    # Racy reads: main does not wait for the worker before consuming.
+    main.output("stdout", [glob("result_count")], label="queue.c:22")
+    main.assign(local("first"), arr("results", 0), label="queue.c:23")
+    main.join(local("t"), label="queue.c:24")
+    main.output("stdout", [local("first")], label="queue.c:25")
+    main.ret()
+    return b.build()
+
+
+def main():
+    program = build_program()
+    portend = Portend(program, config=PortendConfig(mp=5, ma=2))
+    result = portend.analyze()
+
+    print(result.summary())
+    print()
+    for report in result.reports():
+        print(report.render())
+        print("-" * 60)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Triage the races of one of the paper's workloads and print the reports.
+
+This is the "automated bug triage" scenario from the paper's introduction:
+run the existing test of an application under Portend, then look only at the
+races that were classified as harmful (or output-changing) first.
+
+Run with::
+
+    python examples/triage_paper_workloads.py [workload-name]
+"""
+
+import sys
+
+from repro.core.categories import RaceClass
+from repro.experiments.runner import analyze_workload
+from repro.workloads import all_workload_names, load_workload
+
+#: triage priority, most urgent first (the paper's recommendation)
+PRIORITY = (
+    RaceClass.SPEC_VIOLATED,
+    RaceClass.OUTPUT_DIFFERS,
+    RaceClass.K_WITNESS_HARMLESS,
+    RaceClass.SINGLE_ORDERING,
+)
+
+
+def main(argv):
+    name = argv[1] if len(argv) > 1 else "pbzip2"
+    if name not in all_workload_names():
+        print(f"unknown workload {name!r}; choose one of {', '.join(all_workload_names())}")
+        return 1
+
+    workload = load_workload(name)
+    print(f"analysing {workload.name}: {workload.description}")
+    run = analyze_workload(workload)
+    result = run.result
+    print(result.summary())
+    print()
+
+    by_class = result.by_class()
+    for cls in PRIORITY:
+        races = by_class[cls]
+        if not races:
+            continue
+        print(f"=== {cls.value} ({len(races)} races) ===")
+        for classified in races:
+            race = classified.race
+            print(
+                f"  #{race.race_id:>3} on {race.location.describe():<24} "
+                f"threads T{race.first.tid}/T{race.second.tid}  "
+                f"{race.first.label}  <->  {race.second.label}"
+            )
+            if cls is RaceClass.SPEC_VIOLATED:
+                print(f"       consequence: {classified.evidence.crash_description}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

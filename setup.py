@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+the package can be installed in editable mode on environments whose
+setuptools/pip combination lacks PEP 660 support (no ``wheel`` package
+available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,6 @@
+"""Reproduction of Portend (ASPLOS 2012): data race detection and triage.
+
+See :mod:`repro.core.portend` for the top-level API.
+"""
+
+__version__ = "0.1.0"

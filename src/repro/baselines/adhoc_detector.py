@@ -1,0 +1,96 @@
+"""Ad-hoc synchronisation identification (Helgrind+ / Ad-Hoc-Detector style).
+
+These tools "eliminate race reports due to ad-hoc synchronization" (§7): a
+race whose shared variable is used as the exit condition of a busy-wait loop
+in some thread is considered synchronised (only one order is possible) and
+therefore harmless.  Races that do not match the pattern are left
+unclassified -- exactly how Table 5 scores them ("not-classified").
+
+The reproduction implements the published idea as a static AST pattern
+matcher over the mini language: a while loop whose condition reads the racing
+variable and whose body contains no write to that variable (the typical
+``while (!flag) sleep();`` spin loop).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.detection.race_report import RaceReport
+from repro.lang.ast import Assign, ArrayRef, GlobalRef, While, expression_reads, iter_statements
+from repro.lang.program import Program
+
+
+class AdHocVerdict(enum.Enum):
+    """Classification produced by the ad-hoc-synchronisation detectors."""
+
+    SINGLE_ORDERING = "single ordering"
+    NOT_CLASSIFIED = "not classified"
+
+
+@dataclass
+class AdHocFinding:
+    """Why a race was deemed ad-hoc synchronised (for report rendering)."""
+
+    verdict: AdHocVerdict
+    loop_label: str = ""
+    variable: str = ""
+
+
+class AdHocSyncDetector:
+    """Static busy-wait-loop pattern matcher."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._spin_loops = self._collect_spin_loops(program)
+
+    @staticmethod
+    def _loop_writes(loop: While) -> Set[Tuple[str, str]]:
+        writes: Set[Tuple[str, str]] = set()
+        for stmt in iter_statements(loop.body):
+            if isinstance(stmt, Assign):
+                target = stmt.target
+                if isinstance(target, GlobalRef):
+                    writes.add(("global", target.name))
+                elif isinstance(target, ArrayRef):
+                    writes.add(("array", target.name))
+        return writes
+
+    @classmethod
+    def _collect_spin_loops(cls, program: Program) -> List[Tuple[While, Set[Tuple[str, str]]]]:
+        """All loops that spin on shared variables they do not themselves write."""
+        loops: List[Tuple[While, Set[Tuple[str, str]]]] = []
+        for function in program.functions.values():
+            for stmt in iter_statements(function.body):
+                if not isinstance(stmt, While):
+                    continue
+                reads = {
+                    (space, name)
+                    for space, name in expression_reads(stmt.cond)
+                    if space in ("global", "array") and name is not None
+                }
+                if not reads:
+                    continue
+                writes = cls._loop_writes(stmt)
+                spin_variables = reads - writes
+                if spin_variables:
+                    loops.append((stmt, spin_variables))
+        return loops
+
+    def classify(self, race: RaceReport) -> AdHocFinding:
+        """Classify one race report."""
+        location = race.location
+        key = (location.space, location.name)
+        for loop, variables in self._spin_loops:
+            if key in variables:
+                return AdHocFinding(
+                    AdHocVerdict.SINGLE_ORDERING,
+                    loop_label=loop.label,
+                    variable=location.name,
+                )
+        return AdHocFinding(AdHocVerdict.NOT_CLASSIFIED)
+
+    def classify_all(self, races: Sequence[RaceReport]) -> List[AdHocFinding]:
+        return [self.classify(race) for race in races]

@@ -1,0 +1,81 @@
+"""DataCollider-style heuristic pruning of likely-harmless races.
+
+DataCollider [29] prunes race reports that match patterns developers usually
+consider benign: updates of statistics counters, read-write conflicts on
+disjoint bits of the same word, and variables known to be intentionally racy
+(e.g. a "current time" variable).  The paper notes such heuristics "can lead
+to both false positives and false negatives"; the reproduction implements
+them to make that comparison concrete (they are not part of Portend itself).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence, Set
+
+from repro.detection.race_report import RaceReport
+from repro.lang.ast import Assign, BinOp, Const, GlobalRef, iter_statements
+from repro.lang.program import Program
+
+
+class HeuristicVerdict(enum.Enum):
+    """Verdict of the heuristic pruner."""
+
+    LIKELY_HARMLESS = "likely harmless"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class HeuristicFinding:
+    verdict: HeuristicVerdict
+    rule: str = ""
+
+
+class HeuristicClassifier:
+    """Pattern-based pruning of likely-benign races."""
+
+    #: substrings that mark a variable as a statistics counter / timestamp
+    COUNTER_HINTS = ("stat", "count", "counter", "hits", "ticks", "time")
+
+    def __init__(self, program: Program, intentionally_racy: Sequence[str] = ()) -> None:
+        self.program = program
+        self.intentionally_racy: Set[str] = set(intentionally_racy)
+        self._increment_targets = self._collect_increment_targets(program)
+
+    @staticmethod
+    def _collect_increment_targets(program: Program) -> Set[str]:
+        """Globals only ever updated with ``x = x +/- const`` patterns."""
+        incremented: Set[str] = set()
+        other_writes: Set[str] = set()
+        for function in program.functions.values():
+            for stmt in iter_statements(function.body):
+                if not isinstance(stmt, Assign) or not isinstance(stmt.target, GlobalRef):
+                    continue
+                name = stmt.target.name
+                value = stmt.value
+                is_increment = (
+                    isinstance(value, BinOp)
+                    and value.op in ("+", "-")
+                    and isinstance(value.left, GlobalRef)
+                    and value.left.name == name
+                    and isinstance(value.right, Const)
+                )
+                if is_increment:
+                    incremented.add(name)
+                else:
+                    other_writes.add(name)
+        return incremented - other_writes
+
+    def classify(self, race: RaceReport) -> HeuristicFinding:
+        name = race.location.name
+        if name in self.intentionally_racy:
+            return HeuristicFinding(HeuristicVerdict.LIKELY_HARMLESS, "intentionally racy variable")
+        if name in self._increment_targets and any(
+            hint in name.lower() for hint in self.COUNTER_HINTS
+        ):
+            return HeuristicFinding(HeuristicVerdict.LIKELY_HARMLESS, "statistics counter update")
+        return HeuristicFinding(HeuristicVerdict.UNKNOWN)
+
+    def classify_all(self, races: Sequence[RaceReport]):
+        return [self.classify(race) for race in races]

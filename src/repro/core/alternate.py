@@ -1,0 +1,367 @@
+"""Primary replay and alternate-ordering enforcement.
+
+This module is the record/replay choreography shared by every analysis
+stage:
+
+* :func:`replay_primary` replays the recorded trace (optionally with
+  different concrete inputs), stopping at the pre-race point, the post-race
+  point, and completion, and captures the corresponding checkpoints --
+  lines 1-4 of Algorithm 1.
+* :func:`run_alternate` primes a new execution with the pre-race checkpoint
+  and enforces the alternate ordering of the racing accesses by preempting
+  the thread that performed the first access and forcing the other racing
+  thread to run -- lines 5-7 of Algorithm 1 -- then lets the execution
+  continue under a configurable post-race schedule policy (round-robin for
+  the deterministic single-post analysis, random for multi-schedule
+  analysis, §3.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.spec import SemanticPredicate, SpecChecker, diagnose_timeout
+from repro.detection.race_report import RaceReport
+from repro.lang.program import Program
+from repro.record_replay.trace import ExecutionTrace
+from repro.runtime.errors import ExecutionOutcome, OutcomeKind
+from repro.runtime.executor import Executor, RunResult, RunStatus
+from repro.runtime.listeners import ExecutionListener, MemoryAccess
+from repro.runtime.scheduler import (
+    ControlledPolicy,
+    RandomPolicy,
+    ReplayPolicy,
+    RoundRobinPolicy,
+    SchedulePolicy,
+)
+from repro.runtime.state import ExecutionState
+
+
+class RacePointLocator:
+    """Stop-predicate factory that finds the racing accesses during a replay.
+
+    With identical inputs the replay is deterministic, so the recorded step
+    numbers locate the racing accesses exactly; with different inputs (the
+    multi-path primaries of §3.3) the locator falls back to matching the
+    first dynamic occurrence of the racing thread/pc pair, tolerating the
+    divergence the paper describes.
+    """
+
+    def __init__(self, race: RaceReport, use_steps: bool = True) -> None:
+        self.race = race
+        self.use_steps = use_steps
+
+    def stop_before_first_access(self) -> Callable[[ExecutionState, int, object], bool]:
+        first = self.race.first
+
+        def predicate(state: ExecutionState, tid: int, stmt) -> bool:
+            if tid != first.tid or stmt.pc != first.pc:
+                return False
+            if self.use_steps and state.step_count + 1 < first.step:
+                return False
+            return True
+
+        return predicate
+
+    def stop_after_second_access(self) -> Callable[[ExecutionState, int, object], bool]:
+        second = self.race.second
+
+        def predicate(state: ExecutionState, tid: int, stmt) -> bool:
+            if tid != second.tid or stmt.pc != second.pc:
+                return False
+            if self.use_steps and state.step_count < second.step:
+                return False
+            return True
+
+        return predicate
+
+    def watched_pcs(self) -> frozenset:
+        return frozenset((self.race.first.pc, self.race.second.pc))
+
+
+class _RaceAccessWatcher(ExecutionListener):
+    """Observes accesses to the racing location by a specific thread."""
+
+    def __init__(self, race: RaceReport, tid: int) -> None:
+        self.race = race
+        self.tid = tid
+        self.seen = False
+        self.seen_pc: Optional[int] = None
+
+    def _same_variable(self, access: MemoryAccess) -> bool:
+        location = self.race.location
+        return (
+            access.location.space == location.space
+            and access.location.name == location.name
+        )
+
+    def on_access(self, state, access: MemoryAccess) -> None:
+        if self.seen or access.tid != self.tid:
+            return
+        if self._same_variable(access):
+            self.seen = True
+            self.seen_pc = access.pc
+
+
+@dataclass
+class PrimaryReplay:
+    """The primary execution, replayed to completion with checkpoints."""
+
+    final_state: ExecutionState
+    pre_race_checkpoint: Optional[ExecutionState]
+    post_race_checkpoint: Optional[ExecutionState]
+    post_race_snapshot: Optional[Tuple]
+    reached_race: bool
+    run_result: RunResult
+    diverged: bool
+    steps: int
+
+    @property
+    def outcome(self) -> Optional[ExecutionOutcome]:
+        return self.final_state.outcome
+
+
+class AlternateStatus(enum.Enum):
+    """How the attempt to enforce the alternate ordering ended."""
+
+    COMPLETED = "completed"
+    TIMEOUT = "timeout"
+    STUCK = "scheduling stuck"
+    RACE_NOT_REACHED = "race not reached"
+
+
+@dataclass
+class AlternateResult:
+    """One alternate execution: enforcement status plus final state."""
+
+    status: AlternateStatus
+    state: ExecutionState
+    pre_race_checkpoint: Optional[ExecutionState]
+    post_race_snapshot: Optional[Tuple] = None
+    timeout_diagnosis: Optional[str] = None
+    lock_cycle: Optional[List[int]] = None
+    enforced_pc: Optional[int] = None
+    steps: int = 0
+
+    @property
+    def outcome(self) -> Optional[ExecutionOutcome]:
+        return self.state.outcome
+
+    @property
+    def enforced(self) -> bool:
+        return self.status is AlternateStatus.COMPLETED
+
+
+def _spec_listeners(predicates: Sequence[SemanticPredicate]) -> List[ExecutionListener]:
+    return [SpecChecker(predicates)] if predicates else []
+
+
+def replay_primary(
+    executor: Executor,
+    program: Program,
+    trace: ExecutionTrace,
+    race: RaceReport,
+    concrete_inputs: Optional[Dict[str, int]] = None,
+    predicates: Sequence[SemanticPredicate] = (),
+    max_steps: Optional[int] = None,
+    use_steps: bool = True,
+) -> PrimaryReplay:
+    """Replay the primary execution, taking pre-race and post-race checkpoints."""
+    inputs = dict(trace.concrete_inputs)
+    if concrete_inputs:
+        inputs.update(concrete_inputs)
+    locator = RacePointLocator(race, use_steps=use_steps)
+    policy = ReplayPolicy(trace.decisions)
+    state = executor.initial_state(concrete_inputs=inputs)
+    listeners = _spec_listeners(predicates)
+    budget = max_steps or executor.config.max_steps
+    watched = locator.watched_pcs()
+
+    # Phase 1: up to (but not including) the first racing access.
+    result = executor.run(
+        state,
+        policy=policy,
+        listeners=listeners,
+        max_steps=budget,
+        watched_pcs=watched,
+        stop_before=locator.stop_before_first_access(),
+    )
+    pre_race = state.clone() if result.status is RunStatus.STOPPED_BEFORE else None
+    reached_race = pre_race is not None
+
+    post_race = None
+    snapshot = None
+    if reached_race:
+        # Phase 2: up to and including the second racing access.
+        result = executor.run(
+            state,
+            policy=policy,
+            listeners=listeners,
+            max_steps=budget,
+            watched_pcs=watched,
+            stop_after=locator.stop_after_second_access(),
+        )
+        if result.status is RunStatus.STOPPED_AFTER:
+            post_race = state.clone()
+            snapshot = state.memory.snapshot()
+
+    # Phase 3: run to completion.
+    if state.outcome is None:
+        result = executor.run(
+            state,
+            policy=policy,
+            listeners=listeners,
+            max_steps=budget,
+        )
+
+    return PrimaryReplay(
+        final_state=state,
+        pre_race_checkpoint=pre_race,
+        post_race_checkpoint=post_race,
+        post_race_snapshot=snapshot,
+        reached_race=reached_race,
+        run_result=result,
+        diverged=policy.diverged,
+        steps=state.step_count,
+    )
+
+
+def run_alternate(
+    executor: Executor,
+    program: Program,
+    trace: ExecutionTrace,
+    race: RaceReport,
+    primary: PrimaryReplay,
+    post_race_policy: Optional[SchedulePolicy] = None,
+    predicates: Sequence[SemanticPredicate] = (),
+    timeout_steps: Optional[int] = None,
+    capture_post_race_snapshot: bool = False,
+) -> AlternateResult:
+    """Enforce the alternate ordering of the racing accesses and run onwards.
+
+    ``primary`` must have been produced by :func:`replay_primary` (its
+    pre-race checkpoint seeds the alternate).  ``timeout_steps`` bounds the
+    enforcement and the post-race execution; the default is
+    ``timeout_factor × primary.steps`` as in §4.
+    """
+    if primary.pre_race_checkpoint is None:
+        return AlternateResult(
+            status=AlternateStatus.RACE_NOT_REACHED,
+            state=primary.final_state,
+            pre_race_checkpoint=None,
+        )
+
+    first, second = race.first, race.second
+    state = primary.pre_race_checkpoint.clone()
+    budget = timeout_steps if timeout_steps is not None else max(1000, 5 * primary.steps)
+    listeners = _spec_listeners(predicates)
+    watcher = _RaceAccessWatcher(race, second.tid)
+    locator = RacePointLocator(race, use_steps=False)
+    watched = locator.watched_pcs()
+
+    # Enforce the alternate order: preempt the thread that performed the
+    # first racing access and let the other racing thread run (Algorithm 1,
+    # line 6).  The other thread is preferred rather than strictly forced so
+    # that, when it is momentarily blocked or not yet created, the remaining
+    # threads can still run and unblock it.
+    enforcement = ControlledPolicy(RoundRobinPolicy())
+    enforcement.forbid(first.tid)
+    enforcement.prefer(second.tid)
+
+    def stop_after_enforced(state_, tid, stmt) -> bool:
+        return watcher.seen
+
+    result = executor.run(
+        state,
+        policy=enforcement,
+        listeners=listeners + [watcher],
+        max_steps=budget,
+        watched_pcs=watched,
+        stop_after=stop_after_enforced,
+    )
+
+    if not watcher.seen:
+        if state.outcome is not None:
+            # The alternate terminated (crash, deadlock, ...) before the
+            # forced thread reached its racing access; the classifier will
+            # inspect the outcome directly (a deadlock or crash here is a
+            # specification violation caused by the attempted reordering).
+            return AlternateResult(
+                status=AlternateStatus.COMPLETED,
+                state=state,
+                pre_race_checkpoint=primary.pre_race_checkpoint,
+                steps=state.step_count,
+            )
+        if result.status is RunStatus.SCHEDULING_STUCK:
+            cycle = state.sync.find_lock_cycle(state.blocked_reasons())
+            return AlternateResult(
+                status=AlternateStatus.STUCK,
+                state=state,
+                pre_race_checkpoint=primary.pre_race_checkpoint,
+                lock_cycle=cycle,
+                timeout_diagnosis=None,
+                steps=state.step_count,
+            )
+        # Step budget exhausted while the forced thread spins: diagnose.
+        diagnosis = diagnose_timeout(program, state, spinning_tid=second.tid)
+        return AlternateResult(
+            status=AlternateStatus.TIMEOUT,
+            state=state,
+            pre_race_checkpoint=primary.pre_race_checkpoint,
+            timeout_diagnosis=diagnosis,
+            steps=state.step_count,
+        )
+
+    # The alternate ordering was enforced; release the scheduler.
+    snapshot = None
+    if capture_post_race_snapshot and state.outcome is None:
+        # Let the preempted thread perform its own racing access so that the
+        # "state immediately after the race" is comparable with the primary's
+        # post-race snapshot (this is what the Record/Replay-Analyzer
+        # baseline diffs).
+        follower = _RaceAccessWatcher(race, first.tid)
+        release = ControlledPolicy(RoundRobinPolicy())
+        release.force(first.tid)
+        executor.run(
+            state,
+            policy=release,
+            listeners=listeners + [follower],
+            max_steps=min(budget, 5_000),
+            watched_pcs=watched,
+            stop_after=lambda s, t, st: follower.seen,
+        )
+        snapshot = state.memory.snapshot()
+
+    if state.outcome is None:
+        continuation = post_race_policy or RoundRobinPolicy()
+        executor.run(
+            state,
+            policy=continuation,
+            listeners=listeners,
+            max_steps=budget,
+            watched_pcs=frozenset(),
+        )
+
+    return AlternateResult(
+        status=AlternateStatus.COMPLETED,
+        state=state,
+        pre_race_checkpoint=primary.pre_race_checkpoint,
+        post_race_snapshot=snapshot,
+        enforced_pc=watcher.seen_pc,
+        steps=state.step_count,
+    )
+
+
+def make_schedule_policies(count: int, seed: int) -> List[SchedulePolicy]:
+    """Post-race schedule policies for multi-schedule analysis (§3.4).
+
+    The first alternate uses the deterministic round-robin continuation (the
+    "single-post" schedule); the remaining ``count - 1`` use randomised
+    schedules with distinct seeds.
+    """
+    policies: List[SchedulePolicy] = [RoundRobinPolicy()]
+    for index in range(1, max(1, count)):
+        policies.append(RandomPolicy(seed=seed + index))
+    return policies[:count]

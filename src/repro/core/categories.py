@@ -1,0 +1,90 @@
+"""The four-category race taxonomy of the paper (Fig. 1)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.detection.race_report import RaceReport
+
+
+class RaceClass(enum.Enum):
+    """Portend's classification categories.
+
+    * ``SPEC_VIOLATED`` -- at least one ordering of the racing accesses leads
+      to a violation of the program's specification (crash, deadlock,
+      infinite loop, memory error, or a developer-provided semantic
+      predicate); by definition harmful.
+    * ``OUTPUT_DIFFERS`` -- the two orderings can lead to different program
+      output; potentially harmful, needs developer judgement.
+    * ``K_WITNESS_HARMLESS`` -- k explored path/schedule combinations witness
+      equivalent behaviour; harmless with quantitative confidence k.
+    * ``SINGLE_ORDERING`` -- only a single ordering of the accesses is
+      possible (ad-hoc synchronisation); harmless.
+    * ``OUTPUT_SAME`` is an internal, intermediate verdict of the
+      single-pre/single-post stage (Algorithm 1 returns ``outSame``); it is
+      never a final classification.
+    """
+
+    SPEC_VIOLATED = "spec violated"
+    OUTPUT_DIFFERS = "output differs"
+    K_WITNESS_HARMLESS = "k-witness harmless"
+    SINGLE_ORDERING = "single ordering"
+    OUTPUT_SAME = "output same"
+
+    @property
+    def is_harmful(self) -> bool:
+        return self is RaceClass.SPEC_VIOLATED
+
+    @property
+    def is_final(self) -> bool:
+        return self is not RaceClass.OUTPUT_SAME
+
+
+class SpecViolationKind(enum.Enum):
+    """What kind of specification violation was observed (Table 2 columns)."""
+
+    CRASH = "crash"
+    DEADLOCK = "deadlock"
+    INFINITE_LOOP = "infinite loop"
+    SEMANTIC = "semantic"
+
+
+@dataclass
+class ClassificationEvidence:
+    """Supporting evidence attached to a classification."""
+
+    spec_violation_kind: Optional[SpecViolationKind] = None
+    crash_description: str = ""
+    failing_inputs: Dict[str, int] = field(default_factory=dict)
+    failing_schedule: List[str] = field(default_factory=list)
+    output_difference: List[Tuple[str, str]] = field(default_factory=list)
+    alternate_enforced: bool = True
+    post_race_states_differ: Optional[bool] = None
+    notes: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ClassifiedRace:
+    """The result of classifying one distinct race."""
+
+    race: RaceReport
+    classification: RaceClass
+    k: int = 0
+    paths_explored: int = 0
+    schedules_explored: int = 0
+    analysis_seconds: float = 0.0
+    analysis_steps: int = 0
+    evidence: ClassificationEvidence = field(default_factory=ClassificationEvidence)
+    stage: str = "single-pre/single-post"
+
+    @property
+    def is_harmful(self) -> bool:
+        return self.classification.is_harmful
+
+    def summary(self) -> str:
+        return (
+            f"race #{self.race.race_id} on {self.race.location.describe()}: "
+            f"{self.classification.value} (k={self.k}, stage={self.stage})"
+        )

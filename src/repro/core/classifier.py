@@ -1,0 +1,92 @@
+"""Per-race classification pipeline.
+
+``classify_race`` strings the stages together exactly as §3 describes:
+
+1. single-pre/single-post analysis (Algorithm 1) identifies races whose
+   alternate ordering cannot be enforced ("single ordering"), and catches
+   specification violations and output differences visible with the original
+   inputs and a single alternate schedule;
+2. if that stage is inconclusive (``outSame``), multi-path multi-schedule
+   analysis (Algorithm 2) explores Mp primary paths and Ma alternate
+   schedules per path and compares outputs symbolically;
+3. the race is classified "k-witness harmless" with k = Mp × Ma only if every
+   explored combination produced equivalent behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence
+
+from repro.core.categories import ClassifiedRace, RaceClass
+from repro.core.config import PortendConfig
+from repro.core.multi_path import classify_multipath
+from repro.core.single_pre_post import single_classify
+from repro.core.spec import SemanticPredicate
+from repro.detection.race_report import RaceReport
+from repro.lang.program import Program
+from repro.record_replay.trace import ExecutionTrace
+from repro.runtime.executor import Executor
+
+
+def classify_race(
+    executor: Executor,
+    program: Program,
+    trace: ExecutionTrace,
+    race: RaceReport,
+    config: Optional[PortendConfig] = None,
+    predicates: Sequence[SemanticPredicate] = (),
+) -> ClassifiedRace:
+    """Classify one distinct race into the four-category taxonomy."""
+    config = config or PortendConfig()
+    started = time.perf_counter()
+
+    single = single_classify(
+        executor, program, trace, race, config, predicates=predicates
+    )
+    analysis_steps = single.primary.steps
+    if single.alternate is not None:
+        analysis_steps += single.alternate.steps
+
+    evidence = single.evidence
+    verdict = single.verdict
+    stage = "single-pre/single-post"
+    paths_explored = 1
+    schedules_explored = 1
+    k = 1
+
+    if verdict is RaceClass.OUTPUT_SAME:
+        if config.enable_multi_path or config.enable_multi_schedule:
+            stage = "multi-path/multi-schedule"
+            multi = classify_multipath(
+                executor, program, trace, race, config, predicates=predicates
+            )
+            verdict = multi.verdict
+            paths_explored = max(1, multi.paths_explored)
+            schedules_explored = max(1, multi.schedules_explored)
+            k = multi.witnesses if multi.witnesses else paths_explored * config.effective_ma()
+            if multi.evidence.spec_violation_kind or multi.evidence.output_difference or multi.evidence.notes:
+                evidence = multi.evidence
+                evidence.post_race_states_differ = single.post_race_states_differ
+            if verdict is RaceClass.K_WITNESS_HARMLESS and multi.witnesses == 0:
+                # No path/schedule combination could be completed; the only
+                # witness is the single-pre/single-post pair itself.
+                k = 1
+        else:
+            # Single-path mode: the lone primary/alternate pair is the only
+            # witness of harmlessness.
+            verdict = RaceClass.K_WITNESS_HARMLESS
+            k = 1
+
+    elapsed = time.perf_counter() - started
+    return ClassifiedRace(
+        race=race,
+        classification=verdict,
+        k=k,
+        paths_explored=paths_explored,
+        schedules_explored=schedules_explored,
+        analysis_seconds=elapsed,
+        analysis_steps=analysis_steps,
+        evidence=evidence,
+        stage=stage,
+    )

@@ -1,0 +1,228 @@
+"""Multi-path multi-schedule analysis: Algorithm 2 of the paper.
+
+For every primary path found by the :class:`repro.explore.paths.MultiPathExplorer`
+(up to Mp paths that follow the recorded schedule and exercise the race), the
+analysis generates the corresponding alternate executions under Ma different
+post-race schedules, watches for specification violations, and compares the
+alternates' concrete outputs against the primary's symbolic outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.alternate import AlternateStatus, replay_primary, run_alternate
+from repro.core.categories import (
+    ClassificationEvidence,
+    RaceClass,
+    SpecViolationKind,
+)
+from repro.core.config import PortendConfig
+from repro.core.output_comparison import compare_concrete, compare_symbolic
+from repro.core.single_pre_post import _schedule_evidence, _spec_violation_kind
+from repro.core.spec import SemanticPredicate, outcome_is_spec_violation
+from repro.detection.race_report import RaceReport
+from repro.explore.paths import MultiPathExplorer, PrimaryPath
+from repro.explore.schedules import alternate_schedule_policies
+from repro.lang.program import Program
+from repro.record_replay.trace import ExecutionTrace
+from repro.runtime.executor import Executor
+
+
+@dataclass
+class MultiPathResult:
+    """Aggregated verdict of the multi-path multi-schedule stage."""
+
+    verdict: RaceClass
+    evidence: ClassificationEvidence
+    paths_explored: int
+    schedules_explored: int
+    witnesses: int
+    states_pruned: int = 0
+    dependent_branches: int = 0
+
+
+def classify_multipath(
+    executor: Executor,
+    program: Program,
+    trace: ExecutionTrace,
+    race: RaceReport,
+    config: PortendConfig,
+    predicates: Sequence[SemanticPredicate] = (),
+) -> MultiPathResult:
+    """Run the multi-path (and optionally multi-schedule) analysis for a race."""
+    evidence = ClassificationEvidence()
+    explorer = MultiPathExplorer(
+        executor,
+        program,
+        trace,
+        race,
+        solver=executor.solver,
+        max_primaries=config.effective_mp(),
+        max_states=config.max_explored_states,
+        max_steps_per_state=config.max_steps_per_execution,
+        symbolic_input_limit=config.symbolic_inputs,
+    )
+    primaries = explorer.explore()
+    schedules_per_primary = config.effective_ma()
+    witnesses = 0
+    schedules_explored = 0
+    dependent_branches = 0
+    saw_output_difference = False
+
+    for path in primaries:
+        dependent_branches = max(dependent_branches, path.symbolic_branches)
+
+        # A specification violation reachable on the primary path itself is a
+        # "spec violated" verdict (line 17 of Algorithm 1 applies to every
+        # explored primary).
+        if outcome_is_spec_violation(path.outcome):
+            evidence.spec_violation_kind = _spec_violation_kind(path.outcome)
+            evidence.crash_description = f"primary path {path.index}: {path.outcome.describe()}"
+            evidence.failing_inputs = dict(path.concrete_inputs)
+            evidence.failing_schedule = _schedule_evidence(trace, race, alternate_first=False)
+            return MultiPathResult(
+                RaceClass.SPEC_VIOLATED,
+                evidence,
+                len(primaries),
+                schedules_explored,
+                witnesses,
+                explorer.states_pruned,
+                dependent_branches,
+            )
+
+        same_inputs = path.concrete_inputs == dict(trace.concrete_inputs)
+        primary_replay = replay_primary(
+            executor,
+            program,
+            trace,
+            race,
+            concrete_inputs=path.concrete_inputs,
+            predicates=predicates,
+            max_steps=config.max_steps_per_execution,
+            use_steps=same_inputs,
+        )
+        if outcome_is_spec_violation(primary_replay.outcome):
+            evidence.spec_violation_kind = _spec_violation_kind(primary_replay.outcome)
+            evidence.crash_description = (
+                f"primary replay with inputs {path.concrete_inputs}: "
+                f"{primary_replay.outcome.describe()}"
+            )
+            evidence.failing_inputs = dict(path.concrete_inputs)
+            evidence.failing_schedule = _schedule_evidence(trace, race, alternate_first=False)
+            return MultiPathResult(
+                RaceClass.SPEC_VIOLATED,
+                evidence,
+                len(primaries),
+                schedules_explored,
+                witnesses,
+                explorer.states_pruned,
+                dependent_branches,
+            )
+        if not primary_replay.reached_race:
+            continue
+
+        timeout_steps = min(
+            max(1_000, config.timeout_factor * primary_replay.steps),
+            config.max_steps_per_execution,
+        )
+        policies = alternate_schedule_policies(
+            schedules_per_primary, config.seed, race.race_id * 131 + path.index
+        )
+        for policy in policies:
+            schedules_explored += 1
+            alternate = run_alternate(
+                executor,
+                program,
+                trace,
+                race,
+                primary_replay,
+                post_race_policy=policy,
+                predicates=predicates,
+                timeout_steps=timeout_steps,
+            )
+            if alternate.status in (AlternateStatus.TIMEOUT, AlternateStatus.STUCK):
+                if alternate.timeout_diagnosis == "infinite-loop" or alternate.lock_cycle:
+                    kind = (
+                        SpecViolationKind.INFINITE_LOOP
+                        if alternate.timeout_diagnosis == "infinite-loop"
+                        else SpecViolationKind.DEADLOCK
+                    )
+                    evidence.spec_violation_kind = kind
+                    evidence.crash_description = (
+                        f"alternate of primary path {path.index} cannot make progress ({kind.value})"
+                    )
+                    evidence.failing_inputs = dict(path.concrete_inputs)
+                    evidence.failing_schedule = _schedule_evidence(trace, race, alternate_first=True)
+                    return MultiPathResult(
+                        RaceClass.SPEC_VIOLATED,
+                        evidence,
+                        len(primaries),
+                        schedules_explored,
+                        witnesses,
+                        explorer.states_pruned,
+                        dependent_branches,
+                    )
+                # Ad-hoc synchronisation on this path; it contributes no
+                # witness but is not evidence of harm either.
+                evidence.notes.append(
+                    f"alternate of primary path {path.index} prevented by ad-hoc synchronisation"
+                )
+                continue
+            if outcome_is_spec_violation(alternate.outcome):
+                evidence.spec_violation_kind = _spec_violation_kind(alternate.outcome)
+                evidence.crash_description = (
+                    f"alternate of primary path {path.index} with inputs "
+                    f"{path.concrete_inputs}: {alternate.outcome.describe()}"
+                )
+                evidence.failing_inputs = dict(path.concrete_inputs)
+                evidence.failing_schedule = _schedule_evidence(trace, race, alternate_first=True)
+                return MultiPathResult(
+                    RaceClass.SPEC_VIOLATED,
+                    evidence,
+                    len(primaries),
+                    schedules_explored,
+                    witnesses,
+                    explorer.states_pruned,
+                    dependent_branches,
+                )
+
+            if config.symbolic_output_comparison:
+                comparison = compare_symbolic(
+                    path.symbolic_outputs,
+                    path.path_condition,
+                    alternate.state.output_log,
+                    executor.solver,
+                )
+            else:
+                comparison = compare_concrete(
+                    primary_replay.final_state.output_log, alternate.state.output_log
+                )
+            if comparison.matches:
+                witnesses += 1
+            else:
+                saw_output_difference = True
+                if not evidence.output_difference:
+                    evidence.output_difference = comparison.differences
+                    evidence.failing_inputs = dict(path.concrete_inputs)
+
+    if saw_output_difference:
+        return MultiPathResult(
+            RaceClass.OUTPUT_DIFFERS,
+            evidence,
+            len(primaries),
+            schedules_explored,
+            witnesses,
+            explorer.states_pruned,
+            dependent_branches,
+        )
+    return MultiPathResult(
+        RaceClass.K_WITNESS_HARMLESS,
+        evidence,
+        len(primaries),
+        schedules_explored,
+        witnesses,
+        explorer.states_pruned,
+        dependent_branches,
+    )

@@ -1,0 +1,99 @@
+"""Debugging-aid reports (§3.6, Fig. 6).
+
+For every classified race Portend produces a textual report containing the
+racing accesses (threads, access kinds, source locations), the classification
+verdict, and -- for harmful races -- the program inputs and thread schedule
+that reproduce the harmful consequence, so the developer can replay the
+evidence in a debugger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.categories import ClassifiedRace, RaceClass
+
+
+@dataclass
+class PortendReport:
+    """Renderable report for one classified race."""
+
+    classified: ClassifiedRace
+
+    # ------------------------------------------------------------- rendering
+
+    def render(self) -> str:
+        classified = self.classified
+        race = classified.race
+        first, second = race.first, race.second
+        lines: List[str] = []
+        lines.append(f"Data Race during access to: {race.location.describe()}")
+        lines.append(f"current thread id: {second.tid}: {second.kind}")
+        lines.append(f"racing thread id: {first.tid}: {first.kind}")
+        lines.append("Current thread at:")
+        lines.append(f"  {second.label or second.pc}")
+        lines.append("Previous at:")
+        lines.append(f"  {first.label or first.pc}")
+        if second.stack:
+            lines.append("Current thread stack:")
+            for entry in second.stack:
+                lines.append(f"  {entry.describe()}")
+        if first.stack:
+            lines.append("Racing thread stack:")
+            for entry in first.stack:
+                lines.append(f"  {entry.describe()}")
+        lines.append(f"classification: {classified.classification.value}")
+        lines.append(
+            f"analysis: stage={classified.stage}, k={classified.k}, "
+            f"paths={classified.paths_explored}, schedules={classified.schedules_explored}, "
+            f"time={classified.analysis_seconds:.3f}s"
+        )
+        lines.extend(self._evidence_lines())
+        return "\n".join(lines)
+
+    def _evidence_lines(self) -> List[str]:
+        classified = self.classified
+        evidence = classified.evidence
+        lines: List[str] = []
+        if classified.classification is RaceClass.SPEC_VIOLATED:
+            if evidence.spec_violation_kind is not None:
+                lines.append(f"violation kind: {evidence.spec_violation_kind.value}")
+            if evidence.crash_description:
+                lines.append(f"consequence: {evidence.crash_description}")
+            if evidence.failing_inputs:
+                rendered = ", ".join(
+                    f"{name}={value}" for name, value in sorted(evidence.failing_inputs.items())
+                )
+                lines.append(f"reproducing inputs: {rendered}")
+            if evidence.failing_schedule:
+                lines.append("reproducing schedule:")
+                lines.append("  " + " -> ".join(evidence.failing_schedule))
+        elif classified.classification is RaceClass.OUTPUT_DIFFERS:
+            lines.append("output difference (primary vs alternate):")
+            for primary, alternate in evidence.output_difference[:10]:
+                lines.append(f"  primary:   {primary}")
+                lines.append(f"  alternate: {alternate}")
+            if evidence.failing_inputs:
+                rendered = ", ".join(
+                    f"{name}={value}" for name, value in sorted(evidence.failing_inputs.items())
+                )
+                lines.append(f"inputs exposing the difference: {rendered}")
+        elif classified.classification is RaceClass.SINGLE_ORDERING:
+            lines.append(
+                "the alternate ordering of the racing accesses cannot be enforced "
+                "(ad-hoc synchronisation)"
+            )
+        elif classified.classification is RaceClass.K_WITNESS_HARMLESS:
+            lines.append(
+                f"harmless for at least k={classified.k} explored path/schedule combinations"
+            )
+        for note in evidence.notes:
+            lines.append(f"note: {note}")
+        if evidence.post_race_states_differ is not None:
+            answer = "differ" if evidence.post_race_states_differ else "are identical"
+            lines.append(f"post-race primary/alternate memory states {answer}")
+        return lines
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,28 @@
+"""Dynamic data-race detection.
+
+Portend detects races "using a dynamic happens-before algorithm" (§3.1).
+This package provides:
+
+* :mod:`repro.detection.vector_clock` -- vector clocks,
+* :mod:`repro.detection.happens_before` -- the happens-before detector,
+  implemented as an execution listener,
+* :mod:`repro.detection.lockset` -- an Eraser-style lockset detector, used to
+  emulate imprecise third-party detectors,
+* :mod:`repro.detection.race_report` -- race records, clustering into
+  distinct races (§4), and report rendering.
+"""
+
+from repro.detection.vector_clock import VectorClock
+from repro.detection.happens_before import HappensBeforeDetector
+from repro.detection.lockset import LockSetDetector
+from repro.detection.race_report import AccessInfo, RaceInstance, RaceReport, cluster_races
+
+__all__ = [
+    "VectorClock",
+    "HappensBeforeDetector",
+    "LockSetDetector",
+    "AccessInfo",
+    "RaceInstance",
+    "RaceReport",
+    "cluster_races",
+]

@@ -1,0 +1,143 @@
+"""Race records, clustering and report data structures.
+
+Portend "clusters the data races it detects, in order to filter out similar
+races; the clustering criterion is whether the racing accesses are made to
+the same shared memory location by the same threads, and the stack traces of
+the accesses are the same" (§4).  Two races are *distinct* "if they involve
+different accesses to shared variables" (Table 3 caption); the same distinct
+race may be observed many times (race instances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.listeners import MemoryAccess
+from repro.runtime.memory import MemoryLocation
+
+
+@dataclass(frozen=True)
+class AccessInfo:
+    """One racing access, as recorded by the detector."""
+
+    tid: int
+    pc: int
+    label: str
+    is_write: bool
+    location: MemoryLocation
+    step: int
+    stack: Tuple = ()
+    locks_held: Tuple[str, ...] = ()
+
+    @classmethod
+    def from_access(cls, access: MemoryAccess, locks_held: Sequence[str] = ()) -> "AccessInfo":
+        return cls(
+            tid=access.tid,
+            pc=access.pc,
+            label=access.label,
+            is_write=access.is_write,
+            location=access.location,
+            step=access.step,
+            stack=access.stack,
+            locks_held=tuple(locks_held),
+        )
+
+    @property
+    def kind(self) -> str:
+        return "WRITE" if self.is_write else "READ"
+
+    def describe(self) -> str:
+        return f"{self.kind} of {self.location.describe()} by T{self.tid} at {self.label or self.pc}"
+
+
+@dataclass(frozen=True)
+class RaceInstance:
+    """One dynamic occurrence of a race: two conflicting, concurrent accesses.
+
+    ``first`` is the access that occurred earlier in the observed execution
+    (the "primary" order); ``second`` is the later one.
+    """
+
+    first: AccessInfo
+    second: AccessInfo
+
+    @property
+    def location(self) -> MemoryLocation:
+        return self.second.location
+
+    def variable_key(self) -> Tuple[str, str]:
+        """Identity of the shared variable (array indices collapse)."""
+        return (self.location.space, self.location.name)
+
+    def distinct_key(self) -> Tuple:
+        """Key identifying the *distinct race* this instance belongs to."""
+        pcs = tuple(sorted((self.first.pc, self.second.pc)))
+        return (self.location.space, self.location.name, pcs)
+
+
+@dataclass
+class RaceReport:
+    """A distinct data race plus all of its observed instances."""
+
+    race_id: int
+    program: str
+    first: AccessInfo
+    second: AccessInfo
+    instances: List[RaceInstance] = field(default_factory=list)
+
+    @property
+    def location(self) -> MemoryLocation:
+        return self.second.location
+
+    @property
+    def tids(self) -> Tuple[int, int]:
+        return (self.first.tid, self.second.tid)
+
+    @property
+    def pcs(self) -> Tuple[int, int]:
+        return (self.first.pc, self.second.pc)
+
+    @property
+    def instance_count(self) -> int:
+        return len(self.instances)
+
+    def describe(self) -> str:
+        lines = [
+            f"Data Race during access to: {self.location.describe()}",
+            f"current thread id: {self.second.tid}: {self.second.kind}",
+            f"racing thread id: {self.first.tid}: {self.first.kind}",
+            f"Current thread at:",
+            f"  {self.second.label or self.second.pc}",
+            f"Previous at:",
+            f"  {self.first.label or self.first.pc}",
+            f"observed instances: {self.instance_count}",
+        ]
+        return "\n".join(lines)
+
+
+def cluster_races(
+    program_name: str, instances: Sequence[RaceInstance]
+) -> List[RaceReport]:
+    """Group race instances into distinct races.
+
+    The first observed instance of each cluster provides the representative
+    access pair (its ordering defines the "primary" order used during
+    classification).
+    """
+    reports: Dict[Tuple, RaceReport] = {}
+    next_id = 1
+    for instance in instances:
+        key = instance.distinct_key()
+        report = reports.get(key)
+        if report is None:
+            report = RaceReport(
+                race_id=next_id,
+                program=program_name,
+                first=instance.first,
+                second=instance.second,
+            )
+            next_id += 1
+            reports[key] = report
+        report.instances.append(instance)
+    return list(reports.values())

@@ -1,0 +1,60 @@
+"""Vector clocks for happens-before tracking (Lamport [31] in the paper)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+
+class VectorClock:
+    """A mapping from thread id to logical clock value."""
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, clock: Mapping[int, int] = ()) -> None:
+        self._clock: Dict[int, int] = dict(clock)
+
+    # ------------------------------------------------------------- operations
+
+    def increment(self, tid: int) -> None:
+        """Advance ``tid``'s component by one."""
+        self._clock[tid] = self._clock.get(tid, 0) + 1
+
+    def merge(self, other: "VectorClock") -> None:
+        """Pointwise maximum with ``other`` (the join of the two clocks)."""
+        for tid, value in other._clock.items():
+            if value > self._clock.get(tid, 0):
+                self._clock[tid] = value
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clock)
+
+    # ------------------------------------------------------------ comparisons
+
+    def get(self, tid: int) -> int:
+        return self._clock.get(tid, 0)
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        """True when self ≤ other pointwise and self ≠ other."""
+        return self.less_or_equal(other) and self != other
+
+    def less_or_equal(self, other: "VectorClock") -> bool:
+        return all(value <= other._clock.get(tid, 0) for tid, value in self._clock.items())
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        return not self.less_or_equal(other) and not other.less_or_equal(self)
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self._clock)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        tids = set(self._clock) | set(other._clock)
+        return all(self.get(tid) == other.get(tid) for tid in tids)
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return hash(tuple(sorted((t, v) for t, v in self._clock.items() if v)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"T{t}:{v}" for t, v in sorted(self._clock.items()))
+        return f"VC({inner})"

@@ -1,0 +1,19 @@
+"""Reproduction of every table and figure of the paper's evaluation (§5).
+
+Each experiment module exposes a ``run(...)`` function returning a populated
+result object plus a ``render(...)`` helper producing the text table/series
+the paper reports.  ``python -m repro.experiments <name>`` runs one of them
+from the command line; the ``benchmarks/`` directory wires each into
+pytest-benchmark.
+"""
+
+from repro.experiments.metrics import AccuracyScore, score_workload
+from repro.experiments.runner import WorkloadRun, analyze_workload, analyze_all
+
+__all__ = [
+    "AccuracyScore",
+    "score_workload",
+    "WorkloadRun",
+    "analyze_workload",
+    "analyze_all",
+]

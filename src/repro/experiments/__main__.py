@@ -1,0 +1,44 @@
+"""Command-line entry point: ``python -m repro.experiments <experiment>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import fig7, fig9, fig10, table1, table2, table3, table4, table5
+
+_EXPERIMENTS = {
+    "table1": (table1, {}),
+    "table2": (table2, {}),
+    "table3": (table3, {}),
+    "table4": (table4, {}),
+    "table5": (table5, {}),
+    "fig7": (fig7, {}),
+    "fig9": (fig9, {}),
+    "fig10": (fig10, {}),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a table or figure from the Portend paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        module, kwargs = _EXPERIMENTS[name]
+        result = module.run(**kwargs)
+        print(module.render(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

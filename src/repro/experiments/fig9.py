@@ -1,0 +1,63 @@
+"""Fig. 9: classification time vs preemption points and dependent branches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.config import PortendConfig
+from repro.experiments.runner import WorkloadRun, analyze_all
+
+
+@dataclass
+class Fig9Sample:
+    race_id: str
+    program: str
+    preemption_points: int
+    dependent_branches: int
+    classification_seconds: float
+    classification_steps: int
+
+
+def run(
+    config: Optional[PortendConfig] = None,
+    runs: Optional[Sequence[WorkloadRun]] = None,
+) -> List[Fig9Sample]:
+    runs = list(runs) if runs is not None else analyze_all(config=config)
+    samples: List[Fig9Sample] = []
+    for run_ in runs:
+        preemptions = run_.result.trace.preemption_points
+        for index, item in enumerate(run_.result.classified, start=1):
+            samples.append(
+                Fig9Sample(
+                    race_id=f"{run_.name.lower()}{index}",
+                    program=run_.name,
+                    preemption_points=preemptions,
+                    dependent_branches=max(item.paths_explored - 1, 0)
+                    + item.race.instance_count,
+                    classification_seconds=item.analysis_seconds,
+                    classification_steps=item.analysis_steps,
+                )
+            )
+    samples.sort(key=lambda sample: (sample.preemption_points, sample.dependent_branches))
+    return samples
+
+
+def render(samples: Sequence[Fig9Sample], limit: int = 20) -> str:
+    header = (
+        f"{'Race':<16} {'Preemptions':>12} {'Dep. branches':>14} "
+        f"{'Time (s)':>10} {'Steps':>10}"
+    )
+    lines = [
+        "Fig. 9: classification time vs preemptions and dependent branches",
+        header,
+        "-" * len(header),
+    ]
+    step = max(1, len(samples) // limit)
+    for sample in samples[::step]:
+        lines.append(
+            f"{sample.race_id:<16} {sample.preemption_points:>12} "
+            f"{sample.dependent_branches:>14} {sample.classification_seconds:>10.4f} "
+            f"{sample.classification_steps:>10}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Accuracy and precision metrics (§5.2, §5.4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.categories import ClassifiedRace, RaceClass
+from repro.workloads.base import GroundTruth, Workload
+
+
+@dataclass
+class AccuracyScore:
+    """Classification accuracy of one tool on one workload."""
+
+    workload: str
+    total: int = 0
+    correct: int = 0
+    mismatches: List[Tuple[str, str, str]] = field(default_factory=list)
+    unmatched_races: List[str] = field(default_factory=list)
+
+    @property
+    def accuracy(self) -> float:
+        return 1.0 if self.total == 0 else self.correct / self.total
+
+    def merge(self, other: "AccuracyScore") -> "AccuracyScore":
+        merged = AccuracyScore(workload=f"{self.workload}+{other.workload}")
+        merged.total = self.total + other.total
+        merged.correct = self.correct + other.correct
+        merged.mismatches = self.mismatches + other.mismatches
+        merged.unmatched_races = self.unmatched_races + other.unmatched_races
+        return merged
+
+
+def score_workload(
+    workload: Workload, classified: Sequence[ClassifiedRace]
+) -> AccuracyScore:
+    """Score Portend's classifications against the workload's ground truth."""
+    score = AccuracyScore(workload=workload.name)
+    for item in classified:
+        truth = workload.truth_for(item.race)
+        variable = item.race.location.name
+        if truth is None:
+            score.unmatched_races.append(variable)
+            continue
+        score.total += 1
+        if truth.classification is item.classification:
+            score.correct += 1
+        else:
+            score.mismatches.append(
+                (variable, truth.classification.value, item.classification.value)
+            )
+    return score
+
+
+def score_binary_verdicts(
+    workload: Workload,
+    verdicts: Sequence[Tuple[str, bool]],
+) -> AccuracyScore:
+    """Score a harmful/harmless-only classifier (the replay-analyzer baseline).
+
+    ``verdicts`` is a list of (variable, claims_harmful) pairs; the ground
+    truth considers "spec violated" harmful and everything else harmless.
+    """
+    score = AccuracyScore(workload=workload.name)
+    for variable, claims_harmful in verdicts:
+        truth = workload.ground_truth.get(variable)
+        if truth is None:
+            score.unmatched_races.append(variable)
+            continue
+        score.total += 1
+        actually_harmful = truth.classification is RaceClass.SPEC_VIOLATED
+        if claims_harmful == actually_harmful:
+            score.correct += 1
+        else:
+            score.mismatches.append(
+                (
+                    variable,
+                    "harmful" if actually_harmful else "harmless",
+                    "harmful" if claims_harmful else "harmless",
+                )
+            )
+    return score
+
+
+def per_class_accuracy(
+    workloads_and_results: Sequence[Tuple[Workload, Sequence[ClassifiedRace]]],
+) -> Dict[RaceClass, Tuple[int, int]]:
+    """(correct, total) per ground-truth class across many workloads (Table 5)."""
+    counters: Dict[RaceClass, Tuple[int, int]] = {
+        cls: (0, 0)
+        for cls in (
+            RaceClass.SPEC_VIOLATED,
+            RaceClass.OUTPUT_DIFFERS,
+            RaceClass.K_WITNESS_HARMLESS,
+            RaceClass.SINGLE_ORDERING,
+        )
+    }
+    for workload, classified in workloads_and_results:
+        for item in classified:
+            truth = workload.truth_for(item.race)
+            if truth is None or truth.classification not in counters:
+                continue
+            correct, total = counters[truth.classification]
+            counters[truth.classification] = (
+                correct + (1 if item.classification is truth.classification else 0),
+                total + 1,
+            )
+    return counters

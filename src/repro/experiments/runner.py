@@ -1,0 +1,88 @@
+"""Shared experiment driver: run Portend over workloads and keep the results."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import PortendConfig
+from repro.core.portend import Portend, PortendResult
+from repro.record_replay.recorder import record_execution
+from repro.runtime.executor import Executor
+from repro.workloads import Workload, all_workloads, load_workload
+
+
+@dataclass
+class WorkloadRun:
+    """Portend's results for one workload under one configuration."""
+
+    workload: Workload
+    result: PortendResult
+    config: PortendConfig
+    plain_interpretation_seconds: float = 0.0
+    used_semantic_predicates: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+
+def plain_interpretation_time(workload: Workload) -> float:
+    """Time to interpret the program concretely, without detection/classification.
+
+    This reproduces Table 4's "Cloud9 running time" column: the baseline cost
+    of running the program in the interpreter with both race detection and
+    classification disabled.
+    """
+    executor = Executor(workload.program)
+    state = executor.initial_state(concrete_inputs=workload.inputs)
+    started = time.perf_counter()
+    executor.run(state)
+    return time.perf_counter() - started
+
+
+def analyze_workload(
+    workload: Workload,
+    config: Optional[PortendConfig] = None,
+    use_semantic_predicates: bool = False,
+    measure_plain_time: bool = False,
+) -> WorkloadRun:
+    """Run detection + classification for one workload."""
+    config = config or PortendConfig()
+    predicates = list(workload.predicates)
+    if use_semantic_predicates:
+        predicates += list(workload.semantic_predicates)
+    portend = Portend(workload.program, config=config, predicates=predicates)
+    result = portend.analyze(workload.inputs)
+    plain = plain_interpretation_time(workload) if measure_plain_time else 0.0
+    return WorkloadRun(
+        workload=workload,
+        result=result,
+        config=config,
+        plain_interpretation_seconds=plain,
+        used_semantic_predicates=use_semantic_predicates,
+    )
+
+
+def analyze_all(
+    names: Optional[Sequence[str]] = None,
+    config: Optional[PortendConfig] = None,
+    include_micro: bool = True,
+    use_semantic_predicates: bool = False,
+    measure_plain_time: bool = False,
+) -> List[WorkloadRun]:
+    """Run Portend over a set of workloads (default: the full Table 1 list)."""
+    if names is None:
+        workloads = all_workloads(include_micro=include_micro)
+    else:
+        workloads = [load_workload(name) for name in names]
+    return [
+        analyze_workload(
+            workload,
+            config=config,
+            use_semantic_predicates=use_semantic_predicates,
+            measure_plain_time=measure_plain_time,
+        )
+        for workload in workloads
+    ]

@@ -1,0 +1,49 @@
+"""Table 1: programs analyzed with Portend (size, language, forked threads)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.workloads import Workload, all_workloads
+
+
+@dataclass
+class Table1Row:
+    program: str
+    model_loc: int
+    paper_loc: int
+    language: str
+    forked_threads: int
+    paper_forked_threads: int
+
+
+def run(workloads: Optional[Sequence[Workload]] = None) -> List[Table1Row]:
+    workloads = list(workloads) if workloads is not None else all_workloads()
+    rows = []
+    for workload in workloads:
+        rows.append(
+            Table1Row(
+                program=workload.name,
+                model_loc=workload.lines_of_code(),
+                paper_loc=workload.paper_loc,
+                language=workload.paper_language,
+                forked_threads=workload.forked_threads(),
+                paper_forked_threads=workload.paper_forked_threads,
+            )
+        )
+    return rows
+
+
+def render(rows: Sequence[Table1Row]) -> str:
+    header = (
+        f"{'Program':<12} {'Model LoC':>9} {'Paper LoC':>9} {'Lang':>5} "
+        f"{'Threads':>8} {'Paper threads':>13}"
+    )
+    lines = ["Table 1: programs analyzed with Portend", header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.program:<12} {row.model_loc:>9} {row.paper_loc:>9} {row.language:>5} "
+            f"{row.forked_threads:>8} {row.paper_forked_threads:>13}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Table 5: per-category accuracy of Portend vs the baseline classifiers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.adhoc_detector import AdHocSyncDetector, AdHocVerdict
+from repro.baselines.replay_analyzer import RecordReplayAnalyzer
+from repro.core.categories import RaceClass
+from repro.core.config import PortendConfig
+from repro.experiments.metrics import per_class_accuracy
+from repro.experiments.runner import WorkloadRun, analyze_all
+
+_CATEGORIES = (
+    RaceClass.SPEC_VIOLATED,
+    RaceClass.OUTPUT_DIFFERS,
+    RaceClass.K_WITNESS_HARMLESS,
+    RaceClass.SINGLE_ORDERING,
+)
+
+
+@dataclass
+class Table5Result:
+    """Per-approach, per-category (correct, total) counters."""
+
+    portend: Dict[RaceClass, Tuple[int, int]] = field(default_factory=dict)
+    replay_analyzer: Dict[RaceClass, Tuple[int, int]] = field(default_factory=dict)
+    adhoc_detector: Dict[RaceClass, Tuple[int, int]] = field(default_factory=dict)
+
+    @staticmethod
+    def accuracy(cell: Tuple[int, int]) -> Optional[float]:
+        correct, total = cell
+        return None if total == 0 else correct / total
+
+
+def run(
+    config: Optional[PortendConfig] = None,
+    runs: Optional[Sequence[WorkloadRun]] = None,
+) -> Table5Result:
+    runs = list(runs) if runs is not None else analyze_all(config=config)
+    result = Table5Result()
+
+    # Portend: per ground-truth category accuracy.
+    result.portend = per_class_accuracy(
+        [(run_.workload, run_.result.classified) for run_ in runs]
+    )
+
+    # Record/Replay-Analyzer: harmful/harmless verdicts scored per category
+    # (a race is scored correct iff the binary verdict matches the ground
+    # truth's harmfulness).
+    replay_counters = {cls: (0, 0) for cls in _CATEGORIES}
+    adhoc_counters = {cls: (0, 0) for cls in _CATEGORIES}
+    for run_ in runs:
+        workload = run_.workload
+        analyzer = RecordReplayAnalyzer(workload.program)
+        adhoc = AdHocSyncDetector(workload.program)
+        for race in run_.result.trace.races:
+            truth = workload.truth_for(race)
+            if truth is None or truth.classification not in replay_counters:
+                continue
+
+            verdict = analyzer.classify(run_.result.trace, race)
+            correct, total = replay_counters[truth.classification]
+            is_correct = verdict.harmful == (truth.classification is RaceClass.SPEC_VIOLATED)
+            replay_counters[truth.classification] = (correct + int(is_correct), total + 1)
+
+            finding = adhoc.classify(race)
+            correct, total = adhoc_counters[truth.classification]
+            adhoc_correct = (
+                finding.verdict is AdHocVerdict.SINGLE_ORDERING
+                and truth.classification is RaceClass.SINGLE_ORDERING
+            )
+            adhoc_counters[truth.classification] = (correct + int(adhoc_correct), total + 1)
+
+    result.replay_analyzer = replay_counters
+    result.adhoc_detector = adhoc_counters
+    return result
+
+
+def render(result: Table5Result) -> str:
+    def fmt(cell: Tuple[int, int]) -> str:
+        accuracy = Table5Result.accuracy(cell)
+        if accuracy is None:
+            return "   n/a"
+        return f"{100 * accuracy:5.0f}%"
+
+    header = f"{'Approach':<28} {'specViol':>9} {'outDiff':>9} {'k-witness':>10} {'singleOrd':>10}"
+    lines = ["Table 5: accuracy per approach and per category", header, "-" * len(header)]
+    for label, counters in (
+        ("Record/Replay-Analyzer", result.replay_analyzer),
+        ("Ad-Hoc-Detector/Helgrind+", result.adhoc_detector),
+        ("Portend", result.portend),
+    ):
+        lines.append(
+            f"{label:<28} "
+            + " ".join(f"{fmt(counters[cls]):>9}" for cls in _CATEGORIES[:2])
+            + " "
+            + f"{fmt(counters[_CATEGORIES[2]]):>10} {fmt(counters[_CATEGORIES[3]]):>10}"
+        )
+    return "\n".join(lines)

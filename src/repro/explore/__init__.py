@@ -1,0 +1,12 @@
+"""Path and schedule exploration.
+
+Multi-path analysis (§3.3) re-executes the program with symbolic inputs,
+following the recorded schedule trace and pruning paths that diverge from it
+before the racing accesses (Fig. 5); multi-schedule analysis (§3.4)
+randomises the post-race schedule of the alternate executions.
+"""
+
+from repro.explore.paths import MultiPathExplorer, PrimaryPath
+from repro.explore.schedules import alternate_schedule_policies
+
+__all__ = ["MultiPathExplorer", "PrimaryPath", "alternate_schedule_policies"]

@@ -1,0 +1,25 @@
+"""Schedule diversification for multi-schedule analysis (§3.4)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.runtime.scheduler import RandomPolicy, RoundRobinPolicy, SchedulePolicy
+
+
+def alternate_schedule_policies(count: int, seed: int, race_id: int = 0) -> List[SchedulePolicy]:
+    """Post-race schedule policies for the alternates of one primary path.
+
+    The first alternate keeps the deterministic round-robin continuation (it
+    corresponds to the single-post analysis); every further alternate runs
+    under an independently seeded random scheduler, so "every alternate
+    execution will most likely have a different schedule from the original
+    input trace".  Seeds mix in the race id so different races do not share
+    schedule sequences.
+    """
+    if count <= 0:
+        return []
+    policies: List[SchedulePolicy] = [RoundRobinPolicy()]
+    for index in range(1, count):
+        policies.append(RandomPolicy(seed=seed * 1_000_003 + race_id * 101 + index))
+    return policies

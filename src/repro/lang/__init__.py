@@ -1,0 +1,134 @@
+"""A small concurrent imperative language.
+
+The original Portend analyses LLVM bitcode produced from C/C++ programs.
+This reproduction replaces that substrate with a compact imperative language
+whose programs are built programmatically (:mod:`repro.lang.builder`) and
+interpreted by :mod:`repro.runtime`.  The language has exactly the features
+the paper's analysis relies on:
+
+* global scalar variables and fixed-size global arrays (shared memory),
+* a heap with ``malloc``/``free`` (for double-free / use-after-free bugs),
+* POSIX-style threads, mutexes, condition variables and barriers,
+* ``output`` (the ``write`` system call family) and ``input``
+  (non-deterministic system-call inputs that can be marked symbolic),
+* assertions and explicit aborts for "semantic" specification properties.
+
+Every statement gets a unique program counter (``pc``) and a source-style
+location label, which is what schedule traces, race reports and the
+debugging-aid output refer to.
+"""
+
+from repro.lang.ast import (
+    # expressions
+    Const,
+    LocalRef,
+    GlobalRef,
+    ArrayRef,
+    HeapRef,
+    BinOp,
+    UnOp,
+    InputRef,
+    # expression helpers
+    local,
+    glob,
+    arr,
+    heap,
+    add,
+    sub,
+    mul,
+    div,
+    mod,
+    eq,
+    ne,
+    lt,
+    le,
+    gt,
+    ge,
+    logical_and,
+    logical_or,
+    logical_not,
+    # statements
+    Assign,
+    If,
+    While,
+    Lock,
+    Unlock,
+    CondWait,
+    CondSignal,
+    CondBroadcast,
+    BarrierWait,
+    Spawn,
+    Join,
+    Output,
+    Input,
+    Assert,
+    Abort,
+    Call,
+    Return,
+    Malloc,
+    Free,
+    Yield,
+    Sleep,
+    Nop,
+    Break,
+    Continue,
+)
+from repro.lang.program import Function, Program
+from repro.lang.builder import FunctionBuilder, ProgramBuilder
+
+__all__ = [
+    "Const",
+    "LocalRef",
+    "GlobalRef",
+    "ArrayRef",
+    "HeapRef",
+    "BinOp",
+    "UnOp",
+    "InputRef",
+    "local",
+    "glob",
+    "arr",
+    "heap",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "mod",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "logical_and",
+    "logical_or",
+    "logical_not",
+    "Assign",
+    "If",
+    "While",
+    "Lock",
+    "Unlock",
+    "CondWait",
+    "CondSignal",
+    "CondBroadcast",
+    "BarrierWait",
+    "Spawn",
+    "Join",
+    "Output",
+    "Input",
+    "Assert",
+    "Abort",
+    "Call",
+    "Return",
+    "Malloc",
+    "Free",
+    "Yield",
+    "Sleep",
+    "Nop",
+    "Break",
+    "Continue",
+    "Function",
+    "Program",
+    "FunctionBuilder",
+    "ProgramBuilder",
+]

@@ -1,0 +1,248 @@
+"""Fluent builders for assembling programs without a parser.
+
+The builders keep workload definitions compact and readable::
+
+    b = ProgramBuilder("example")
+    b.global_var("counter", 0)
+    b.mutex("l")
+
+    worker = b.function("worker")
+    worker.lock("l")
+    worker.assign(glob("counter"), add(glob("counter"), 1))
+    worker.unlock("l")
+
+    main = b.function("main")
+    main.spawn("t1", "worker")
+    main.join(local("t1"))
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
+
+from repro.lang.ast import (
+    Abort,
+    Assert,
+    Assign,
+    BarrierWait,
+    Break,
+    Call,
+    CondBroadcast,
+    CondSignal,
+    CondWait,
+    Continue,
+    ExprLike,
+    Free,
+    If,
+    Input,
+    Join,
+    Lock,
+    LValue,
+    Malloc,
+    Nop,
+    Output,
+    Return,
+    Sleep,
+    Spawn,
+    Stmt,
+    Unlock,
+    While,
+    Yield,
+    as_expr,
+)
+from repro.lang.program import Function, Program, ProgramError
+
+
+class FunctionBuilder:
+    """Builds a single function body statement by statement."""
+
+    def __init__(self, name: str, params: Sequence[str] = ()) -> None:
+        self.name = name
+        self.params = tuple(params)
+        self._blocks: List[List[Stmt]] = [[]]
+
+    # -------------------------------------------------------------- plumbing
+
+    def _emit(self, stmt: Stmt) -> Stmt:
+        self._blocks[-1].append(stmt)
+        return stmt
+
+    def raw(self, stmt: Stmt) -> Stmt:
+        """Append a pre-constructed statement."""
+        return self._emit(stmt)
+
+    def body(self) -> List[Stmt]:
+        if len(self._blocks) != 1:
+            raise ProgramError(
+                f"function {self.name!r} has an unclosed block "
+                f"(nested depth {len(self._blocks)})"
+            )
+        return self._blocks[0]
+
+    # ---------------------------------------------------------- plain builders
+
+    def assign(self, target: LValue, value: ExprLike, label: str = "") -> Stmt:
+        return self._emit(Assign(target, value, label=label))
+
+    def lock(self, mutex: str, label: str = "") -> Stmt:
+        return self._emit(Lock(mutex, label=label))
+
+    def unlock(self, mutex: str, label: str = "") -> Stmt:
+        return self._emit(Unlock(mutex, label=label))
+
+    def cond_wait(self, cond: str, mutex: str, label: str = "") -> Stmt:
+        return self._emit(CondWait(cond, mutex, label=label))
+
+    def cond_signal(self, cond: str, label: str = "") -> Stmt:
+        return self._emit(CondSignal(cond, label=label))
+
+    def cond_broadcast(self, cond: str, label: str = "") -> Stmt:
+        return self._emit(CondBroadcast(cond, label=label))
+
+    def barrier_wait(self, barrier: str, label: str = "") -> Stmt:
+        return self._emit(BarrierWait(barrier, label=label))
+
+    def spawn(
+        self, target: str, function: str, args: Sequence[ExprLike] = (), label: str = ""
+    ) -> Stmt:
+        return self._emit(Spawn(target, function, args, label=label))
+
+    def join(self, thread: ExprLike, label: str = "") -> Stmt:
+        return self._emit(Join(thread, label=label))
+
+    def output(self, channel: str, values: Sequence[ExprLike] = (), label: str = "") -> Stmt:
+        return self._emit(Output(channel, values, label=label))
+
+    def input(
+        self,
+        target: str,
+        name: str,
+        lo: int = 0,
+        hi: int = 255,
+        default: int = 0,
+        label: str = "",
+    ) -> Stmt:
+        return self._emit(Input(target, name, lo, hi, default, label=label))
+
+    def assert_(self, cond: ExprLike, message: str = "assertion failed", label: str = "") -> Stmt:
+        return self._emit(Assert(cond, message, label=label))
+
+    def abort(self, message: str = "abort", label: str = "") -> Stmt:
+        return self._emit(Abort(message, label=label))
+
+    def call(
+        self,
+        function: str,
+        args: Sequence[ExprLike] = (),
+        target: Optional[str] = None,
+        label: str = "",
+    ) -> Stmt:
+        return self._emit(Call(function, args, target, label=label))
+
+    def ret(self, value: Optional[ExprLike] = None, label: str = "") -> Stmt:
+        return self._emit(Return(value, label=label))
+
+    def malloc(self, target: str, size: ExprLike, label: str = "") -> Stmt:
+        return self._emit(Malloc(target, size, label=label))
+
+    def free(self, pointer: ExprLike, label: str = "") -> Stmt:
+        return self._emit(Free(pointer, label=label))
+
+    def yield_(self, label: str = "") -> Stmt:
+        return self._emit(Yield(label=label))
+
+    def sleep(self, ticks: int = 1, label: str = "") -> Stmt:
+        return self._emit(Sleep(ticks, label=label))
+
+    def nop(self, label: str = "") -> Stmt:
+        return self._emit(Nop(label=label))
+
+    def break_(self, label: str = "") -> Stmt:
+        return self._emit(Break(label=label))
+
+    def continue_(self, label: str = "") -> Stmt:
+        return self._emit(Continue(label=label))
+
+    # ----------------------------------------------------------- block builders
+
+    @contextmanager
+    def if_(self, cond: ExprLike, label: str = "") -> Iterator[None]:
+        """Open an ``if`` block; pair with :meth:`else_` for the else branch."""
+        stmt = If(cond, (), (), label=label)
+        self._emit(stmt)
+        self._blocks.append([])
+        try:
+            yield
+        finally:
+            stmt.then_body = tuple(self._blocks.pop())
+
+    @contextmanager
+    def else_(self) -> Iterator[None]:
+        """Attach an else branch to the most recent ``if`` in this block."""
+        block = self._blocks[-1]
+        if not block or not isinstance(block[-1], If):
+            raise ProgramError("else_ must directly follow an if_ block")
+        stmt = block[-1]
+        self._blocks.append([])
+        try:
+            yield
+        finally:
+            stmt.else_body = tuple(self._blocks.pop())
+
+    @contextmanager
+    def while_(self, cond: ExprLike, label: str = "") -> Iterator[None]:
+        stmt = While(cond, (), label=label)
+        self._emit(stmt)
+        self._blocks.append([])
+        try:
+            yield
+        finally:
+            stmt.body = tuple(self._blocks.pop())
+
+    def build(self) -> Function:
+        return Function(self.name, self.params, tuple(self.body()))
+
+
+class ProgramBuilder:
+    """Builds a :class:`repro.lang.program.Program`."""
+
+    def __init__(self, name: str, language: str = "C", entry: str = "main") -> None:
+        self._program = Program(name, language)
+        self._program.entry = entry
+        self._functions: List[FunctionBuilder] = []
+        self._built: Optional[Program] = None
+
+    def global_var(self, name: str, initial: int = 0) -> "ProgramBuilder":
+        self._program.add_global(name, initial)
+        return self
+
+    def array(self, name: str, size: int, fill: int = 0) -> "ProgramBuilder":
+        self._program.add_array(name, size, fill)
+        return self
+
+    def mutex(self, name: str) -> "ProgramBuilder":
+        self._program.add_mutex(name)
+        return self
+
+    def condvar(self, name: str) -> "ProgramBuilder":
+        self._program.add_condvar(name)
+        return self
+
+    def barrier(self, name: str, parties: int) -> "ProgramBuilder":
+        self._program.add_barrier(name, parties)
+        return self
+
+    def function(self, name: str, params: Sequence[str] = ()) -> FunctionBuilder:
+        builder = FunctionBuilder(name, params)
+        self._functions.append(builder)
+        return builder
+
+    def build(self) -> Program:
+        """Finalize and return the program (idempotent)."""
+        if self._built is None:
+            for builder in self._functions:
+                self._program.add_function(builder.build())
+            self._built = self._program.finalize()
+        return self._built

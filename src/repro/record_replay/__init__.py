@@ -1,0 +1,20 @@
+"""Record/replay infrastructure.
+
+Portend "has a record/replay infrastructure for orchestrating the execution
+of a multi-threaded program" (§3.1).  A trace consists of a schedule trace
+(thread id + program counter at each preemption point) and a log of system
+call inputs; Portend replays such traces deterministically and can steer them
+toward alternate orderings of racing accesses.
+"""
+
+from repro.record_replay.trace import ExecutionTrace
+from repro.record_replay.recorder import TraceRecorder, record_execution
+from repro.record_replay.replayer import make_replay_policy, replay_execution
+
+__all__ = [
+    "ExecutionTrace",
+    "TraceRecorder",
+    "record_execution",
+    "make_replay_policy",
+    "replay_execution",
+]

@@ -1,0 +1,43 @@
+"""Replaying recorded executions."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.lang.program import Program
+from repro.record_replay.trace import ExecutionTrace
+from repro.runtime.executor import Executor, RunResult
+from repro.runtime.listeners import ExecutionListener
+from repro.runtime.scheduler import ReplayPolicy, RoundRobinPolicy, SchedulePolicy
+from repro.runtime.state import ExecutionState
+
+
+def make_replay_policy(
+    trace: ExecutionTrace, fallback: Optional[SchedulePolicy] = None
+) -> ReplayPolicy:
+    """Build a schedule policy that replays the trace's decisions in order."""
+    return ReplayPolicy(trace.decisions, fallback=fallback or RoundRobinPolicy())
+
+
+def replay_execution(
+    program: Program,
+    trace: ExecutionTrace,
+    executor: Optional[Executor] = None,
+    listeners: Sequence[ExecutionListener] = (),
+    concrete_inputs: Optional[Dict[str, int]] = None,
+    max_steps: Optional[int] = None,
+) -> Tuple[ExecutionState, RunResult, ReplayPolicy]:
+    """Re-execute a recorded run with the same inputs and schedule.
+
+    Returns the final state, the run result, and the replay policy (whose
+    ``diverged`` flag tells whether the replay had to deviate from the
+    recorded schedule).
+    """
+    executor = executor or Executor(program)
+    policy = make_replay_policy(trace)
+    inputs = dict(trace.concrete_inputs)
+    if concrete_inputs:
+        inputs.update(concrete_inputs)
+    state = executor.initial_state(concrete_inputs=inputs)
+    result = executor.run(state, policy=policy, listeners=list(listeners), max_steps=max_steps)
+    return state, result, policy

@@ -1,0 +1,49 @@
+"""Execution traces: schedule decisions plus the system-call input log."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.detection.race_report import RaceReport
+from repro.runtime.scheduler import ScheduleDecision
+from repro.runtime.state import InputRecord
+
+
+@dataclass
+class ExecutionTrace:
+    """Everything needed to deterministically re-execute a recorded run.
+
+    * ``decisions`` -- the scheduling decisions taken at each preemption
+      point (thread id, program counter, absolute step count; §3.1 notes the
+      absolute instruction count is needed for precise replays),
+    * ``concrete_inputs`` -- the program inputs used for the run,
+    * ``input_log`` -- the values returned by each ``Input`` statement, in
+      order (the log of system-call inputs), and
+    * ``races`` -- the distinct races detected during the recorded run.
+    """
+
+    program: str
+    decisions: List[ScheduleDecision] = field(default_factory=list)
+    concrete_inputs: Dict[str, int] = field(default_factory=dict)
+    input_log: List[InputRecord] = field(default_factory=list)
+    races: List[RaceReport] = field(default_factory=list)
+    step_count: int = 0
+    preemption_points: int = 0
+    outcome: str = ""
+
+    def race_by_id(self, race_id: int) -> RaceReport:
+        for race in self.races:
+            if race.race_id == race_id:
+                return race
+        raise KeyError(f"trace has no race with id {race_id}")
+
+    def decision_tids(self) -> List[int]:
+        return [decision.tid for decision in self.decisions]
+
+    def summary(self) -> str:
+        return (
+            f"trace of {self.program}: {len(self.decisions)} scheduling decisions, "
+            f"{len(self.races)} distinct races, {self.step_count} steps, "
+            f"outcome={self.outcome or 'unknown'}"
+        )

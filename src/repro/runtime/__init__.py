@@ -1,0 +1,66 @@
+"""Execution substrate: the reproduction's stand-in for Cloud9/KLEE.
+
+The runtime interprets :mod:`repro.lang` programs with:
+
+* a shared-memory model (globals, arrays, heap) with error detection
+  (out-of-bounds, double free, use after free, division by zero),
+* a POSIX-threads model (mutexes, condition variables, barriers, join),
+* a single-processor cooperative scheduler with pluggable policies
+  (round-robin, random, replay-from-trace, controlled) and explicit
+  preemption points at synchronisation operations and watched (racy)
+  accesses,
+* symbolic execution: program inputs can be marked symbolic, branches on
+  symbolic conditions fork the execution state and extend its path
+  condition, and
+* an event/listener interface used by the race detector, the trace
+  recorder and Portend's analyses.
+"""
+
+from repro.runtime.errors import (
+    CrashKind,
+    CrashInfo,
+    ExecutionOutcome,
+    OutcomeKind,
+)
+from repro.runtime.memory import Memory, MemoryLocation
+from repro.runtime.state import ExecutionState, OutputRecord, InputRecord
+from repro.runtime.threadstate import ThreadState, ThreadStatus, Frame, StackEntry
+from repro.runtime.scheduler import (
+    SchedulePolicy,
+    RoundRobinPolicy,
+    RandomPolicy,
+    ReplayPolicy,
+    ControlledPolicy,
+    ScheduleDecision,
+)
+from repro.runtime.listeners import ExecutionListener, MemoryAccess, SyncEvent
+from repro.runtime.executor import Executor, ExecutorConfig, RunResult, RunStatus
+
+__all__ = [
+    "CrashKind",
+    "CrashInfo",
+    "ExecutionOutcome",
+    "OutcomeKind",
+    "Memory",
+    "MemoryLocation",
+    "ExecutionState",
+    "OutputRecord",
+    "InputRecord",
+    "ThreadState",
+    "ThreadStatus",
+    "Frame",
+    "StackEntry",
+    "SchedulePolicy",
+    "RoundRobinPolicy",
+    "RandomPolicy",
+    "ReplayPolicy",
+    "ControlledPolicy",
+    "ScheduleDecision",
+    "ExecutionListener",
+    "MemoryAccess",
+    "SyncEvent",
+    "Executor",
+    "ExecutorConfig",
+    "RunResult",
+    "RunStatus",
+]

@@ -1,0 +1,404 @@
+"""Symbolic integer/boolean expressions.
+
+Concrete values are plain Python ``int`` (booleans are represented as 0/1 at
+the expression level, mirroring how KLEE treats ``i1`` values).  Symbolic
+values are instances of :class:`SymExpr`.  Every symbolic variable carries a
+finite inclusive domain ``[lo, hi]``; this is the contract that keeps the
+bounded solver complete.
+
+The module exposes smart constructors (``sym_add``, ``sym_eq``, ...) that
+constant-fold eagerly: applying them to two concrete operands returns a
+concrete Python value, so interpreter code never needs to special-case the
+"everything is concrete" fast path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple, Union
+
+Value = Union[int, "SymExpr"]
+
+
+class ExprError(Exception):
+    """Raised for malformed expressions or invalid concrete evaluation."""
+
+
+class ConcreteEvaluationError(ExprError):
+    """Raised when a concrete evaluation hits an undefined operation.
+
+    The interpreter converts this into a program-level crash (e.g. division
+    by zero), matching how KLEE turns undefined LLVM operations into errors.
+    """
+
+
+class Op(enum.Enum):
+    """Operators of the expression language."""
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    MOD = "%"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    NEG = "neg"
+    BAND = "&"
+    BOR = "|"
+    BXOR = "^"
+    SHL = "<<"
+    SHR = ">>"
+    MIN = "min"
+    MAX = "max"
+
+
+_COMPARISONS = {Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE}
+_BOOLEAN_OPS = {Op.AND, Op.OR, Op.NOT}
+
+
+def _as_int(value: object) -> int:
+    """Normalise concrete values to int (True/False become 1/0)."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    raise ExprError(f"expected a concrete integer, got {value!r}")
+
+
+class SymExpr:
+    """Base class for all symbolic expression nodes.
+
+    Expression nodes are immutable and hashable; they are shared freely
+    between execution states, so deep copies of interpreter state
+    intentionally do not duplicate them (see ``__deepcopy__``).
+    """
+
+    __slots__ = ()
+
+    def __deepcopy__(self, memo: dict) -> "SymExpr":
+        return self
+
+    # Symbolic expressions intentionally do not override __eq__ to mean
+    # semantic equality; structural equality is what dataclass equality
+    # provides on the subclasses.
+
+
+@dataclass(frozen=True)
+class SymVar(SymExpr):
+    """A free symbolic variable with an inclusive finite domain."""
+
+    name: str
+    lo: int = 0
+    hi: int = 255
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ExprError(f"empty domain for symbolic variable {self.name}")
+
+    def domain_size(self) -> int:
+        return self.hi - self.lo + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SymVar({self.name}:[{self.lo},{self.hi}])"
+
+
+@dataclass(frozen=True)
+class BinExpr(SymExpr):
+    """A binary operation over two operands (each concrete or symbolic)."""
+
+    op: Op
+    left: Value
+    right: Value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"({self.left!r} {self.op.value} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class UnExpr(SymExpr):
+    """A unary operation (negation or logical not)."""
+
+    op: Op
+    operand: Value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"({self.op.value} {self.operand!r})"
+
+
+@dataclass(frozen=True)
+class IteExpr(SymExpr):
+    """If-then-else expression: ``then_value`` if ``cond`` is nonzero."""
+
+    cond: Value
+    then_value: Value
+    else_value: Value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ite({self.cond!r}, {self.then_value!r}, {self.else_value!r})"
+
+
+def is_symbolic(value: object) -> bool:
+    """Return True when ``value`` contains symbolic content."""
+    return isinstance(value, SymExpr)
+
+
+def free_variables(value: Value) -> FrozenSet[SymVar]:
+    """Collect the free symbolic variables appearing in ``value``."""
+    if not isinstance(value, SymExpr):
+        return frozenset()
+    if isinstance(value, SymVar):
+        return frozenset((value,))
+    if isinstance(value, BinExpr):
+        return free_variables(value.left) | free_variables(value.right)
+    if isinstance(value, UnExpr):
+        return free_variables(value.operand)
+    if isinstance(value, IteExpr):
+        return (
+            free_variables(value.cond)
+            | free_variables(value.then_value)
+            | free_variables(value.else_value)
+        )
+    raise ExprError(f"unknown expression node {value!r}")
+
+
+def _apply_binary(op: Op, left: int, right: int) -> int:
+    """Apply a binary operator to two concrete integers."""
+    left = _as_int(left)
+    right = _as_int(right)
+    if op is Op.ADD:
+        return left + right
+    if op is Op.SUB:
+        return left - right
+    if op is Op.MUL:
+        return left * right
+    if op is Op.DIV:
+        if right == 0:
+            raise ConcreteEvaluationError("division by zero")
+        # C-style truncation toward zero.
+        quotient = abs(left) // abs(right)
+        return quotient if (left >= 0) == (right >= 0) else -quotient
+    if op is Op.MOD:
+        if right == 0:
+            raise ConcreteEvaluationError("modulo by zero")
+        return left - right * (
+            abs(left) // abs(right) if (left >= 0) == (right >= 0) else -(abs(left) // abs(right))
+        )
+    if op is Op.EQ:
+        return int(left == right)
+    if op is Op.NE:
+        return int(left != right)
+    if op is Op.LT:
+        return int(left < right)
+    if op is Op.LE:
+        return int(left <= right)
+    if op is Op.GT:
+        return int(left > right)
+    if op is Op.GE:
+        return int(left >= right)
+    if op is Op.AND:
+        return int(bool(left) and bool(right))
+    if op is Op.OR:
+        return int(bool(left) or bool(right))
+    if op is Op.BAND:
+        return left & right
+    if op is Op.BOR:
+        return left | right
+    if op is Op.BXOR:
+        return left ^ right
+    if op is Op.SHL:
+        if right < 0:
+            raise ConcreteEvaluationError("negative shift amount")
+        return left << right
+    if op is Op.SHR:
+        if right < 0:
+            raise ConcreteEvaluationError("negative shift amount")
+        return left >> right
+    if op is Op.MIN:
+        return min(left, right)
+    if op is Op.MAX:
+        return max(left, right)
+    raise ExprError(f"operator {op} is not binary")
+
+
+def _apply_unary(op: Op, operand: int) -> int:
+    operand = _as_int(operand)
+    if op is Op.NOT:
+        return int(not operand)
+    if op is Op.NEG:
+        return -operand
+    raise ExprError(f"operator {op} is not unary")
+
+
+def make_binary(op: Op, left: Value, right: Value) -> Value:
+    """Build a binary expression, constant-folding concrete operands."""
+    if not is_symbolic(left) and not is_symbolic(right):
+        return _apply_binary(op, _as_int(left), _as_int(right))
+    return BinExpr(op, left, right)
+
+
+def make_unary(op: Op, operand: Value) -> Value:
+    """Build a unary expression, constant-folding concrete operands."""
+    if not is_symbolic(operand):
+        return _apply_unary(op, _as_int(operand))
+    return UnExpr(op, operand)
+
+
+def make_ite(cond: Value, then_value: Value, else_value: Value) -> Value:
+    """Build an if-then-else expression, folding a concrete condition."""
+    if not is_symbolic(cond):
+        return then_value if _as_int(cond) != 0 else else_value
+    return IteExpr(cond, then_value, else_value)
+
+
+# Smart constructors used throughout the interpreter and the workloads.
+
+def sym_add(a: Value, b: Value) -> Value:
+    return make_binary(Op.ADD, a, b)
+
+
+def sym_sub(a: Value, b: Value) -> Value:
+    return make_binary(Op.SUB, a, b)
+
+
+def sym_mul(a: Value, b: Value) -> Value:
+    return make_binary(Op.MUL, a, b)
+
+
+def sym_div(a: Value, b: Value) -> Value:
+    return make_binary(Op.DIV, a, b)
+
+
+def sym_mod(a: Value, b: Value) -> Value:
+    return make_binary(Op.MOD, a, b)
+
+
+def sym_eq(a: Value, b: Value) -> Value:
+    return make_binary(Op.EQ, a, b)
+
+
+def sym_ne(a: Value, b: Value) -> Value:
+    return make_binary(Op.NE, a, b)
+
+
+def sym_lt(a: Value, b: Value) -> Value:
+    return make_binary(Op.LT, a, b)
+
+
+def sym_le(a: Value, b: Value) -> Value:
+    return make_binary(Op.LE, a, b)
+
+
+def sym_gt(a: Value, b: Value) -> Value:
+    return make_binary(Op.GT, a, b)
+
+
+def sym_ge(a: Value, b: Value) -> Value:
+    return make_binary(Op.GE, a, b)
+
+
+def sym_and(a: Value, b: Value) -> Value:
+    return make_binary(Op.AND, a, b)
+
+
+def sym_or(a: Value, b: Value) -> Value:
+    return make_binary(Op.OR, a, b)
+
+
+def sym_not(a: Value) -> Value:
+    return make_unary(Op.NOT, a)
+
+
+def sym_neg(a: Value) -> Value:
+    return make_unary(Op.NEG, a)
+
+
+def sym_ite(cond: Value, then_value: Value, else_value: Value) -> Value:
+    return make_ite(cond, then_value, else_value)
+
+
+def substitute(value: Value, assignment: Mapping[str, int]) -> Value:
+    """Replace symbolic variables with the concrete values in ``assignment``.
+
+    Variables missing from ``assignment`` remain symbolic; constant folding
+    happens on the way back up, so a full assignment yields a concrete int.
+    """
+    if not isinstance(value, SymExpr):
+        return _as_int(value)
+    if isinstance(value, SymVar):
+        if value.name in assignment:
+            return _as_int(assignment[value.name])
+        return value
+    if isinstance(value, BinExpr):
+        return make_binary(
+            value.op,
+            substitute(value.left, assignment),
+            substitute(value.right, assignment),
+        )
+    if isinstance(value, UnExpr):
+        return make_unary(value.op, substitute(value.operand, assignment))
+    if isinstance(value, IteExpr):
+        return make_ite(
+            substitute(value.cond, assignment),
+            substitute(value.then_value, assignment),
+            substitute(value.else_value, assignment),
+        )
+    raise ExprError(f"unknown expression node {value!r}")
+
+
+def evaluate(value: Value, assignment: Mapping[str, int]) -> int:
+    """Fully evaluate ``value`` under ``assignment``.
+
+    Raises :class:`ExprError` if the assignment does not cover every free
+    variable of the expression.
+    """
+    result = substitute(value, assignment)
+    if isinstance(result, SymExpr):
+        missing = sorted(var.name for var in free_variables(result))
+        raise ExprError(f"evaluation is not total; unassigned variables: {missing}")
+    return result
+
+
+def expr_size(value: Value) -> int:
+    """Number of nodes in the expression (1 for concrete values)."""
+    if not isinstance(value, SymExpr):
+        return 1
+    if isinstance(value, SymVar):
+        return 1
+    if isinstance(value, BinExpr):
+        return 1 + expr_size(value.left) + expr_size(value.right)
+    if isinstance(value, UnExpr):
+        return 1 + expr_size(value.operand)
+    if isinstance(value, IteExpr):
+        return (
+            1
+            + expr_size(value.cond)
+            + expr_size(value.then_value)
+            + expr_size(value.else_value)
+        )
+    raise ExprError(f"unknown expression node {value!r}")
+
+
+def render(value: Value) -> str:
+    """Human-readable rendering used in debugging-aid reports."""
+    if not isinstance(value, SymExpr):
+        return str(_as_int(value))
+    if isinstance(value, SymVar):
+        return value.name
+    if isinstance(value, BinExpr):
+        return f"({render(value.left)} {value.op.value} {render(value.right)})"
+    if isinstance(value, UnExpr):
+        return f"({value.op.value} {render(value.operand)})"
+    if isinstance(value, IteExpr):
+        return (
+            f"ite({render(value.cond)}, {render(value.then_value)}, "
+            f"{render(value.else_value)})"
+        )
+    raise ExprError(f"unknown expression node {value!r}")

@@ -1,0 +1,185 @@
+"""Algebraic simplification of symbolic expressions.
+
+The simplifier is deliberately lightweight: constant folding is already done
+by the smart constructors in :mod:`repro.symex.expr`, so this module only
+adds the rewrites that matter for solver performance on the reproduction
+workloads -- identity elements, annihilators, double negation, and folding of
+comparisons between structurally identical subtrees.
+"""
+
+from __future__ import annotations
+
+from repro.symex.expr import (
+    BinExpr,
+    IteExpr,
+    Op,
+    SymExpr,
+    SymVar,
+    UnExpr,
+    Value,
+    is_symbolic,
+    make_binary,
+    make_ite,
+    make_unary,
+)
+
+_COMMUTATIVE = {Op.ADD, Op.MUL, Op.AND, Op.OR, Op.BAND, Op.BOR, Op.BXOR, Op.EQ, Op.NE}
+
+
+def simplify(value: Value) -> Value:
+    """Return a simplified, semantically equivalent expression."""
+    if not is_symbolic(value):
+        return value
+    if isinstance(value, SymVar):
+        return value
+    if isinstance(value, UnExpr):
+        return _simplify_unary(value)
+    if isinstance(value, BinExpr):
+        return _simplify_binary(value)
+    if isinstance(value, IteExpr):
+        return _simplify_ite(value)
+    return value
+
+
+def _simplify_unary(node: UnExpr) -> Value:
+    operand = simplify(node.operand)
+    if node.op is Op.NOT and isinstance(operand, UnExpr) and operand.op is Op.NOT:
+        inner = operand.operand
+        # not(not(x)) == (x != 0); keep the normalisation explicit so the
+        # result stays a 0/1 value.
+        return simplify(make_binary(Op.NE, inner, 0))
+    if node.op is Op.NEG and isinstance(operand, UnExpr) and operand.op is Op.NEG:
+        return operand.operand
+    return make_unary(node.op, operand)
+
+
+def _structurally_equal(a: Value, b: Value) -> bool:
+    """Structural equality; sound but incomplete for semantic equality."""
+    return a == b and type(a) is type(b)
+
+
+def _simplify_binary(node: BinExpr) -> Value:
+    left = simplify(node.left)
+    right = simplify(node.right)
+    op = node.op
+
+    # Identity / annihilator rules.
+    if op is Op.ADD:
+        if left == 0:
+            return right
+        if right == 0:
+            return left
+    elif op is Op.SUB:
+        if right == 0:
+            return left
+        if _structurally_equal(left, right):
+            return 0
+    elif op is Op.MUL:
+        if left == 0 or right == 0:
+            return 0
+        if left == 1:
+            return right
+        if right == 1:
+            return left
+    elif op is Op.DIV:
+        if right == 1:
+            return left
+    elif op is Op.AND:
+        if left == 0 or right == 0:
+            return 0
+        if isinstance(left, int) and left != 0:
+            return simplify(make_binary(Op.NE, right, 0))
+        if isinstance(right, int) and right != 0:
+            return simplify(make_binary(Op.NE, left, 0))
+    elif op is Op.OR:
+        if isinstance(left, int) and left != 0:
+            return 1
+        if isinstance(right, int) and right != 0:
+            return 1
+        if left == 0:
+            return simplify(make_binary(Op.NE, right, 0))
+        if right == 0:
+            return simplify(make_binary(Op.NE, left, 0))
+    elif op is Op.BAND:
+        if left == 0 or right == 0:
+            return 0
+    elif op is Op.BOR or op is Op.BXOR:
+        if left == 0:
+            return right
+        if right == 0:
+            return left
+
+    # Comparisons between identical subtrees.
+    if is_symbolic(left) or is_symbolic(right):
+        if _structurally_equal(left, right):
+            if op in (Op.EQ, Op.LE, Op.GE):
+                return 1
+            if op in (Op.NE, Op.LT, Op.GT):
+                return 0
+
+    # Domain-based comparison folding for a single variable vs constant.
+    folded = _fold_var_vs_const(op, left, right)
+    if folded is not None:
+        return folded
+
+    return make_binary(op, left, right)
+
+
+def _fold_var_vs_const(op: Op, left: Value, right: Value) -> Value:
+    """Fold comparisons that are decided by a variable's domain bounds."""
+    var, const, flipped = None, None, False
+    if isinstance(left, SymVar) and isinstance(right, int):
+        var, const = left, right
+    elif isinstance(right, SymVar) and isinstance(left, int):
+        var, const, flipped = right, left, True
+    if var is None:
+        return None
+
+    lo, hi = var.lo, var.hi
+    if flipped:
+        # const <op> var: rewrite to var <op'> const.
+        flip = {Op.LT: Op.GT, Op.LE: Op.GE, Op.GT: Op.LT, Op.GE: Op.LE}
+        op = flip.get(op, op)
+
+    if op is Op.LT:
+        if hi < const:
+            return 1
+        if lo >= const:
+            return 0
+    elif op is Op.LE:
+        if hi <= const:
+            return 1
+        if lo > const:
+            return 0
+    elif op is Op.GT:
+        if lo > const:
+            return 1
+        if hi <= const:
+            return 0
+    elif op is Op.GE:
+        if lo >= const:
+            return 1
+        if hi < const:
+            return 0
+    elif op is Op.EQ:
+        if const < lo or const > hi:
+            return 0
+        if lo == hi == const:
+            return 1
+    elif op is Op.NE:
+        if const < lo or const > hi:
+            return 1
+        if lo == hi == const:
+            return 0
+    return None
+
+
+def _simplify_ite(node: IteExpr) -> Value:
+    cond = simplify(node.cond)
+    then_value = simplify(node.then_value)
+    else_value = simplify(node.else_value)
+    if not is_symbolic(cond):
+        return then_value if cond != 0 else else_value
+    if _structurally_equal(then_value, else_value):
+        return then_value
+    return make_ite(cond, then_value, else_value)

@@ -1,0 +1,36 @@
+"""Model workloads reproducing the paper's evaluation targets.
+
+The original evaluation runs Portend on 7 real C/C++ applications and 4
+micro-benchmarks (Table 1).  Those binaries (and the Cloud9 stack needed to
+execute them) are not reproducible in pure Python, so each application is
+replaced by a *model program* written in :mod:`repro.lang` that contains the
+same number of distinct data races per classification category (Table 3),
+with the same consequence kinds for the harmful ones (Table 2), built from
+the same code patterns the paper documents (Fig. 4 and Fig. 8): busy-wait
+ad-hoc synchronisation guarding shared buffers, unsynchronised statistics
+counters, double-checked locking, racy debug output, double frees and buffer
+overflows reachable only in the alternate ordering.
+
+Each workload bundles the program, its test inputs, optional semantic
+predicates, and the manually-derived ground-truth classification used to
+score accuracy (the "manual inspection as ground truth" of §5.4).
+"""
+
+from repro.workloads.base import GroundTruth, Workload
+from repro.workloads.registry import (
+    MICRO_BENCHMARKS,
+    REAL_WORLD_APPLICATIONS,
+    all_workload_names,
+    all_workloads,
+    load_workload,
+)
+
+__all__ = [
+    "GroundTruth",
+    "Workload",
+    "MICRO_BENCHMARKS",
+    "REAL_WORLD_APPLICATIONS",
+    "all_workload_names",
+    "all_workloads",
+    "load_workload",
+]

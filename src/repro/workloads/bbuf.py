@@ -1,0 +1,112 @@
+"""Bbuf model workload: a shared bounded buffer with racy bookkeeping.
+
+The paper finds 6 distinct races in bbuf and classifies all of them as
+"output differs"; Fig. 7 shows that none of them is revealed by
+single-pre/single-post analysis -- the differing output only materialises
+along input-dependent paths, so multi-path analysis is required.
+
+The model has four producers and four consumers (8 forked threads, Table 1)
+operating on a shared buffer.  Six bookkeeping variables (head, tail, fill
+level, per-slot sequence numbers and a drop counter) are updated without
+synchronisation and are echoed to the output only when the corresponding
+diagnostic option is enabled -- the recorded test runs with diagnostics off,
+exactly like the paper's harness.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.categories import RaceClass
+from repro.lang.ast import add, eq, ge, glob, local
+from repro.lang.builder import ProgramBuilder
+from repro.workloads.base import GroundTruth, Workload
+
+#: the six racy bookkeeping variables; (variable, writer value, gating input)
+_RACY_VARIABLES = (
+    ("bb_head", 3, "quiet_producers"),
+    ("bb_tail", 2, "quiet_producers"),
+    ("bb_fill", 5, "quiet_producers"),
+    ("bb_seq_first", 11, "quiet_consumers"),
+    ("bb_seq_last", 17, "quiet_consumers"),
+    ("bb_dropped", 1, "quiet_consumers"),
+)
+
+
+def build_bbuf() -> Workload:
+    b = ProgramBuilder("bbuf", language="C")
+    b.array("bb_slots", 8)
+    b.mutex("bb_lock")
+    for name, _value, _gate in _RACY_VARIABLES:
+        b.global_var(name, 0)
+
+    # The workers serialise against each other with bb_lock (so there are no
+    # worker/worker races), but main samples the same bookkeeping fields
+    # without taking the lock -- those unsynchronised reads are the races.
+    producer = b.function("producer", params=["pid"])
+    producer.lock("bb_lock", label="bbuf.c:40")
+    producer.assign(local("slot"), local("pid"), label="bbuf.c:42")
+    producer.assign(glob("bb_head"), 3, label="bbuf.c:43")
+    producer.assign(glob("bb_fill"), 5, label="bbuf.c:44")
+    producer.assign(glob("bb_tail"), 2, label="bbuf.c:45")
+    producer.unlock("bb_lock", label="bbuf.c:46")
+    producer.ret()
+
+    consumer = b.function("consumer", params=["cid"])
+    consumer.lock("bb_lock", label="bbuf.c:60")
+    consumer.assign(local("slot"), local("cid"), label="bbuf.c:61")
+    consumer.assign(glob("bb_seq_first"), 11, label="bbuf.c:63")
+    consumer.assign(glob("bb_seq_last"), 17, label="bbuf.c:64")
+    consumer.assign(glob("bb_dropped"), 1, label="bbuf.c:65")
+    consumer.unlock("bb_lock", label="bbuf.c:66")
+    consumer.ret()
+
+    main = b.function("main")
+    main.input("qp", "quiet_producers", 0, 4, default=1, label="bbuf.c:100")
+    main.input("qc", "quiet_consumers", 0, 4, default=1, label="bbuf.c:101")
+    for index in range(4):
+        main.spawn(f"p{index}", "producer", [index], label=f"bbuf.c:{110 + index}")
+    for index in range(4):
+        main.spawn(f"c{index}", "consumer", [index], label=f"bbuf.c:{120 + index}")
+
+    # The racy reads: main samples the bookkeeping state while the workers
+    # are still running (it joins them only afterwards).
+    for offset, (name, _value, gate) in enumerate(_RACY_VARIABLES):
+        main.assign(local(f"snap_{name}"), glob(name), label=f"bbuf.c:{140 + offset}")
+    # Diagnostics are printed only when the corresponding "quiet" option is
+    # turned off, which the recorded test never does.
+    for offset, (name, _value, gate) in enumerate(_RACY_VARIABLES):
+        gate_local = "qp" if gate == "quiet_producers" else "qc"
+        with main.if_(ge(local(gate_local), 1), label=f"bbuf.c:{160 + 2 * offset}"):
+            main.nop()
+        with main.else_():
+            main.output("diag", [local(f"snap_{name}")], label=f"bbuf.c:{161 + 2 * offset}")
+
+    for index in range(4):
+        main.join(local(f"p{index}"))
+    for index in range(4):
+        main.join(local(f"c{index}"))
+    main.output("stdout", [1], label="bbuf.c:190")
+    main.ret()
+
+    ground_truth = {
+        name: GroundTruth(
+            name,
+            RaceClass.OUTPUT_DIFFERS,
+            requires_multi_path=True,
+            note=f"diagnostic output gated on --{gate}",
+        )
+        for name, _value, gate in _RACY_VARIABLES
+    }
+
+    return Workload(
+        name="bbuf",
+        program=b.build(),
+        inputs={"quiet_producers": 1, "quiet_consumers": 1},
+        description="shared bounded buffer with racy diagnostics counters",
+        paper_loc=261,
+        paper_language="C",
+        paper_forked_threads=8,
+        expected_distinct_races=6,
+        ground_truth=ground_truth,
+    )

@@ -1,0 +1,149 @@
+"""Ctrace model workload (multi-threaded debug/trace library).
+
+Table 3 reports 15 distinct races in ctrace: one "spec violated" (a crash),
+ten "output differs" and four "k-witness harmless" (with differing post-race
+states).  Fig. 8(a) shows the harmful one -- a cleanup handler guarded only
+by a racy ``_initialized`` flag, so the alternate ordering frees the trace
+buffer twice -- and Fig. 8(b) shows the benign redundant-write shape of the
+harmless ones.
+
+The model:
+
+* ``_initialized`` -- the double-free race (spec violated / crash);
+* ``trc_msg_count``, ``trc_last_event`` -- racy statistics echoed to the
+  output unconditionally (output differs, visible to single-path analysis);
+* eight further diagnostics (``trc_fmt`` ... ``trc_err_code``) that are
+  printed only when tracing/flushing verbosity options are turned off, which
+  the recorded test never does -- multi-path analysis is needed to see the
+  output difference (this is where most of Fig. 7's ctrace accuracy gain
+  comes from);
+* four statistics counters updated by racing read-modify-writes but never
+  printed (k-witness harmless, post-race states differ).
+"""
+
+from __future__ import annotations
+
+from repro.core.categories import RaceClass, SpecViolationKind
+from repro.lang.ast import add, eq, ge, glob, heap, local
+from repro.lang.builder import ProgramBuilder
+from repro.workloads.base import GroundTruth, Workload
+
+_DIRECT_STATS = (("trc_msg_count", 7), ("trc_last_event", 12))
+_GATED_DEPTH = (("trc_fmt", 3), ("trc_indent", 4), ("trc_color", 5), ("trc_prefix", 6))
+_GATED_FLUSH = (
+    ("trc_flush_bytes", 64),
+    ("trc_flush_count", 2),
+    ("trc_queue_len", 9),
+    ("trc_err_code", 1),
+)
+_SILENT_COUNTERS = (
+    ("trc_stat_calls", 1, 3),
+    ("trc_stat_bytes", 16, 8),
+    ("trc_stat_depth", 1, 2),
+    ("trc_stat_locks", 2, 1),
+)
+
+
+def build_ctrace() -> Workload:
+    b = ProgramBuilder("ctrace", language="C")
+    b.global_var("_initialized", 1)
+    b.global_var("trc_buf", 0)
+    for name, _ in _DIRECT_STATS + _GATED_DEPTH + _GATED_FLUSH:
+        b.global_var(name, 0)
+    for name, _, _ in _SILENT_COUNTERS:
+        b.global_var(name, 0)
+
+    # --- the Fig. 8(a) cleanup handler: double free in the alternate order --
+    cleanup = b.function("trc_cleanup", params=["do_stats"])
+    with cleanup.if_(eq(glob("_initialized"), 1), label="ctrace.c:312"):
+        cleanup.free(glob("trc_buf"), label="ctrace.c:313")
+        cleanup.assign(glob("_initialized"), 0, label="ctrace.c:314")
+
+    # --- the tracer thread updates every diagnostic and statistic ----------
+    tracer = b.function("trc_worker")
+    for offset, (name, value) in enumerate(_DIRECT_STATS):
+        tracer.assign(glob(name), value, label=f"ctrace.c:{120 + offset}")
+    for offset, (name, value) in enumerate(_GATED_DEPTH + _GATED_FLUSH):
+        tracer.assign(glob(name), value, label=f"ctrace.c:{130 + offset}")
+    for offset, (name, delta, _other) in enumerate(_SILENT_COUNTERS):
+        tracer.assign(glob(name), add(glob(name), delta), label=f"ctrace.c:{150 + offset}")
+    tracer.ret()
+
+    # The second half of each counter race lives in the cleanup thread; only
+    # the first cleanup thread maintains statistics (so the races stay
+    # between exactly two threads and the distinct-race count matches).
+    with cleanup.if_(eq(local("do_stats"), 1), label="ctrace.c:320"):
+        for offset, (name, _delta, other) in enumerate(_SILENT_COUNTERS):
+            cleanup.assign(
+                glob(name), add(glob(name), other), label=f"ctrace.c:{330 + offset}"
+            )
+    cleanup.ret()
+
+    main = b.function("main")
+    main.input("depth_opt", "trace_depth", 0, 4, default=1, label="ctrace.c:20")
+    main.input("flush_opt", "flush_mode", 0, 4, default=1, label="ctrace.c:21")
+    main.malloc("buf", 8, label="ctrace.c:25")
+    main.assign(glob("trc_buf"), local("buf"), label="ctrace.c:26")
+    main.spawn("cleaner_a", "trc_cleanup", [1], label="ctrace.c:30")
+    main.spawn("cleaner_b", "trc_cleanup", [0], label="ctrace.c:31")
+    main.spawn("tracer", "trc_worker", label="ctrace.c:32")
+
+    # Racy reads of the diagnostics (before the joins, hence unsynchronised).
+    for offset, (name, _value) in enumerate(_DIRECT_STATS):
+        main.output("trace", [glob(name)], label=f"ctrace.c:{40 + offset}")
+    for offset, (name, _value) in enumerate(_GATED_DEPTH):
+        main.assign(local(f"snap_{name}"), glob(name), label=f"ctrace.c:{50 + offset}")
+        with main.if_(ge(local("depth_opt"), 1), label=f"ctrace.c:{60 + 2 * offset}"):
+            main.nop()
+        with main.else_():
+            main.output("trace", [local(f"snap_{name}")], label=f"ctrace.c:{61 + 2 * offset}")
+    for offset, (name, _value) in enumerate(_GATED_FLUSH):
+        main.assign(local(f"snap_{name}"), glob(name), label=f"ctrace.c:{70 + offset}")
+        with main.if_(ge(local("flush_opt"), 1), label=f"ctrace.c:{80 + 2 * offset}"):
+            main.nop()
+        with main.else_():
+            main.output("trace", [local(f"snap_{name}")], label=f"ctrace.c:{81 + 2 * offset}")
+
+    main.join(local("cleaner_a"))
+    main.join(local("cleaner_b"))
+    main.join(local("tracer"))
+    main.output("stdout", [0], label="ctrace.c:95")
+    main.ret()
+
+    ground_truth = {
+        "_initialized": GroundTruth(
+            "_initialized",
+            RaceClass.SPEC_VIOLATED,
+            spec_kind=SpecViolationKind.CRASH,
+            note="alternate ordering double-frees the trace buffer (Fig. 8a)",
+        ),
+    }
+    for name, _value in _DIRECT_STATS:
+        ground_truth[name] = GroundTruth(name, RaceClass.OUTPUT_DIFFERS)
+    for name, _value in _GATED_DEPTH:
+        ground_truth[name] = GroundTruth(
+            name, RaceClass.OUTPUT_DIFFERS, requires_multi_path=True,
+            note="printed only when --trace-depth is 0",
+        )
+    for name, _value in _GATED_FLUSH:
+        ground_truth[name] = GroundTruth(
+            name, RaceClass.OUTPUT_DIFFERS, requires_multi_path=True,
+            note="printed only when --flush-mode is 0",
+        )
+    for name, _delta, _other in _SILENT_COUNTERS:
+        ground_truth[name] = GroundTruth(
+            name, RaceClass.K_WITNESS_HARMLESS,
+            note="statistics counter never reaches the output",
+        )
+
+    return Workload(
+        name="ctrace",
+        program=b.build(),
+        inputs={"trace_depth": 1, "flush_mode": 1},
+        description="multi-threaded trace library with racy cleanup and diagnostics",
+        paper_loc=886,
+        paper_language="C",
+        paper_forked_threads=3,
+        expected_distinct_races=15,
+        ground_truth=ground_truth,
+    )

@@ -1,0 +1,128 @@
+"""Fmm model workload (SPLASH-2 n-body simulator).
+
+Table 3 reports 13 distinct races in fmm: twelve "single ordering" and one
+"k-witness harmless".  §5.1 explains that the harmless one involves a
+timestamp that transiently holds a negative value: when Portend is asked to
+additionally verify the semantic property "all timestamps used by fmm are
+positive", the race is promoted to "spec violated" (the 6th harmful race of
+Table 2); without the predicate it is harmless because the negative value is
+eventually overwritten.
+
+The model has a particle-phase worker that publishes twelve force/position
+aggregates and then publishes the simulation timestamp in two steps (first a
+negative sentinel, then the real value) through the same statement; the main
+thread spins until the timestamp becomes nonzero, records the value it
+observed (``fmm_used_timestamp``), and reads the twelve aggregates.
+"""
+
+from __future__ import annotations
+
+from repro.core.categories import RaceClass
+from repro.core.spec import SemanticPredicate
+from repro.lang.ast import add, arr, eq, ge, glob, local, lt
+from repro.lang.builder import ProgramBuilder
+from repro.workloads.base import GroundTruth, Workload
+from repro.symex.expr import is_symbolic
+
+_PARTICLE_FIELDS = tuple(f"fmm_cell_{index}" for index in range(12))
+
+
+def _timestamps_positive(state) -> bool:
+    """Semantic predicate: the timestamp consumed by fmm is never negative."""
+    value = state.memory.load_global("fmm_used_timestamp")
+    if is_symbolic(value):
+        return True
+    return int(value) >= 0
+
+
+TIMESTAMP_PREDICATE = SemanticPredicate(
+    name="fmm-timestamps-positive",
+    check=_timestamps_positive,
+    description="all timestamps used by fmm are positive (§5.1)",
+)
+
+
+def build_fmm() -> Workload:
+    b = ProgramBuilder("fmm", language="C")
+    b.global_var("fmm_sim_time", 0)
+    b.global_var("fmm_used_timestamp", 0)
+    b.array("fmm_time_steps", 2)
+    for name in _PARTICLE_FIELDS:
+        b.global_var(name, 0)
+
+    worker = b.function("particle_worker")
+    for offset, name in enumerate(_PARTICLE_FIELDS):
+        worker.assign(glob(name), 10 + offset, label=f"fmm.c:{200 + offset}")
+    # The timestamp is published twice through the same store: first the
+    # negative "in progress" sentinel, then the real (positive) value.
+    worker.assign(arr("fmm_time_steps", 0), 0 - 1, label="fmm.c:220")
+    worker.assign(arr("fmm_time_steps", 1), 48, label="fmm.c:221")
+    worker.assign(local("step"), 0, label="fmm.c:222")
+    with worker.while_(lt(local("step"), 2), label="fmm.c:223"):
+        worker.assign(
+            glob("fmm_sim_time"), arr("fmm_time_steps", local("step")), label="fmm.c:224"
+        )
+        worker.sleep(1, label="fmm.c:225")
+        worker.assign(local("step"), add(local("step"), 1), label="fmm.c:226")
+    worker.ret()
+
+    helper = b.function("box_builder", params=["bid"])
+    helper.assign(local("boxes"), add(local("bid"), 4), label="fmm.c:300")
+    helper.ret()
+
+    main = b.function("main")
+    main.spawn("worker", "particle_worker", label="fmm.c:40")
+    main.spawn("helper_a", "box_builder", [0], label="fmm.c:41")
+    main.spawn("helper_b", "box_builder", [1], label="fmm.c:42")
+
+    # Ad-hoc wait for the particle phase: spin until a timestamp is published.
+    # (The racy read happens at a single program location; the observed value
+    # is then recorded in fmm_used_timestamp, which the semantic predicate of
+    # §5.1 inspects.)
+    main.assign(local("observed_time"), 0, label="fmm.c:49")
+    with main.while_(eq(local("observed_time"), 0), label="fmm.c:50"):
+        main.assign(local("observed_time"), glob("fmm_sim_time"), label="fmm.c:51")
+        main.sleep(1, label="fmm.c:52")
+    main.assign(glob("fmm_used_timestamp"), local("observed_time"), label="fmm.c:53")
+
+    # The guarded reads: one single-ordering race per particle aggregate.
+    main.assign(local("total"), 0, label="fmm.c:60")
+    for offset, name in enumerate(_PARTICLE_FIELDS):
+        main.assign(
+            local("total"), add(local("total"), glob(name)), label=f"fmm.c:{61 + offset}"
+        )
+    main.output("stdout", [local("total")], label="fmm.c:80")
+    main.join(local("worker"))
+    main.join(local("helper_a"))
+    main.join(local("helper_b"))
+    main.ret()
+
+    ground_truth = {
+        name: GroundTruth(
+            name,
+            RaceClass.SINGLE_ORDERING,
+            note="read only after the busy-wait on fmm_sim_time",
+        )
+        for name in _PARTICLE_FIELDS
+    }
+    ground_truth["fmm_sim_time"] = GroundTruth(
+        "fmm_sim_time",
+        RaceClass.K_WITNESS_HARMLESS,
+        note=(
+            "harmless without the semantic predicate (the negative timestamp "
+            "is eventually overwritten); 'spec violated' when the timestamp "
+            "predicate of §5.1 is enabled"
+        ),
+    )
+
+    return Workload(
+        name="fmm",
+        program=b.build(),
+        description="SPLASH-2 fmm: particle phase hand-off through a racy timestamp",
+        paper_loc=11_545,
+        paper_language="C",
+        paper_forked_threads=3,
+        expected_distinct_races=13,
+        semantic_predicates=[TIMESTAMP_PREDICATE],
+        ground_truth=ground_truth,
+    )

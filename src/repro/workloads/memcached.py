@@ -1,0 +1,139 @@
+"""Memcached model workload.
+
+Table 3 reports 18 distinct races in memcached 1.4.5: sixteen "single
+ordering" (worker threads consume configuration published through ad-hoc
+synchronisation during start-up) and two "output differs" (schedule-sensitive
+statistics that reach the stats output, Fig. 8(c)).
+
+§5.1 additionally describes a *what-if* experiment: "we turned an arbitrary
+synchronization operation in the memcached binary into a no-op, and then used
+Portend to explore the question of whether it is safe to remove that
+particular synchronization point".  The induced race can crash the server, so
+Portend classifies it "spec violated" -- this is memcached's crash entry in
+Table 2.  :func:`build_memcached` exposes the same experiment through the
+``remove_slab_lock`` flag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.categories import RaceClass, SpecViolationKind
+from repro.lang.ast import add, arr, eq, ge, glob, local, sub
+from repro.lang.builder import ProgramBuilder
+from repro.workloads.base import GroundTruth, Workload
+
+_SETTINGS = tuple(f"settings_{name}" for name in (
+    "maxbytes", "maxconns", "port", "udpport", "verbose", "oldest_live",
+    "evict_to_free", "chunk_size", "item_size_max", "num_threads",
+    "reqs_per_event", "backlog", "growth_factor", "tcp_nodelay",
+    "hash_power", "idle_timeout",
+))
+
+
+def build_memcached(remove_slab_lock: bool = False) -> Workload:
+    """Build the memcached model.
+
+    With ``remove_slab_lock=True`` the slab-index update loses its lock (the
+    paper's what-if experiment), adding one harmful race on ``slab_index``.
+    """
+    name = "memcached-whatif" if remove_slab_lock else "memcached"
+    b = ProgramBuilder(name, language="C")
+    b.global_var("conf_ready", 0)
+    b.global_var("current_time", 0)
+    b.global_var("slab_index", 7)
+    b.array("slab_table", 4, fill=1)
+    b.mutex("slab_lock")
+    for setting in _SETTINGS:
+        b.global_var(setting, 0)
+
+    # --- configuration loader: publishes settings via an ad-hoc flag -------
+    loader = b.function("config_loader")
+    for offset, setting in enumerate(_SETTINGS):
+        loader.assign(glob(setting), 1024 + offset, label=f"memcached.c:{200 + offset}")
+    loader.assign(glob("current_time"), 300, label="memcached.c:230")
+    loader.assign(glob("conf_ready"), 1, label="memcached.c:231")
+    loader.ret()
+
+    # --- worker threads: wait for the configuration, then serve ------------
+    worker = b.function("worker_thread", params=["wid"])
+    worker.assign(local("spins"), 0, label="thread.c:100")
+    with worker.while_(eq(glob("conf_ready"), 0), label="thread.c:101"):
+        worker.assign(local("spins"), add(local("spins"), 1), label="thread.c:102")
+        worker.sleep(1, label="thread.c:103")
+    with worker.if_(eq(local("wid"), 0), label="thread.c:105"):
+        # Start-up diagnostics of the first worker: how long it had to wait
+        # (depends on the ordering of the conf_ready accesses).
+        worker.output("stats", [local("spins")], label="thread.c:106")
+    for offset, setting in enumerate(_SETTINGS):
+        worker.assign(local(f"conf_{offset}"), glob(setting), label=f"thread.c:{110 + offset}")
+    worker.ret()
+
+    # --- slab maintenance: the what-if experiment removes this lock --------
+    slab = b.function("slab_rebalancer")
+    if not remove_slab_lock:
+        slab.lock("slab_lock", label="slabs.c:50")
+    slab.assign(glob("slab_index"), 2, label="slabs.c:51")
+    if not remove_slab_lock:
+        slab.unlock("slab_lock", label="slabs.c:52")
+    slab.ret()
+
+    main = b.function("main")
+    main.spawn("loader", "config_loader", label="memcached.c:40")
+    for index in range(6):
+        main.spawn(f"w{index}", "worker_thread", [index], label=f"memcached.c:{41 + index}")
+    main.spawn("slab", "slab_rebalancer", label="memcached.c:48")
+
+    # Fig. 8(c): the stats output uses the racy current_time.
+    main.assign(local("oldest"), sub(glob("current_time"), 1), label="memcached.c:60")
+    main.output("stats", [local("oldest")], label="memcached.c:61")
+
+    # The slab read is protected in the released binary; removing the
+    # rebalancer's lock (what-if) makes this pair racy and crash-prone.
+    main.lock("slab_lock", label="memcached.c:70")
+    main.assign(local("slab_entry"), arr("slab_table", glob("slab_index")), label="memcached.c:71")
+    main.unlock("slab_lock", label="memcached.c:72")
+
+    main.join(local("loader"))
+    for index in range(6):
+        main.join(local(f"w{index}"))
+    main.join(local("slab"))
+    main.output("stdout", [local("slab_entry")], label="memcached.c:90")
+    main.ret()
+
+    ground_truth: Dict[str, GroundTruth] = {
+        setting: GroundTruth(
+            setting,
+            RaceClass.SINGLE_ORDERING,
+            note="configuration read only after the busy-wait on conf_ready",
+        )
+        for setting in _SETTINGS
+    }
+    ground_truth["conf_ready"] = GroundTruth(
+        "conf_ready",
+        RaceClass.OUTPUT_DIFFERS,
+        note="the first worker reports how long it waited for the configuration",
+    )
+    ground_truth["current_time"] = GroundTruth(
+        "current_time",
+        RaceClass.OUTPUT_DIFFERS,
+        note="the stats output prints oldest_live derived from current_time (Fig. 8c)",
+    )
+    if remove_slab_lock:
+        ground_truth["slab_index"] = GroundTruth(
+            "slab_index",
+            RaceClass.SPEC_VIOLATED,
+            spec_kind=SpecViolationKind.CRASH,
+            note="what-if: without the slab lock the stale index overruns slab_table",
+        )
+
+    return Workload(
+        name=name,
+        program=b.build(),
+        description="memcached start-up configuration hand-off and stats counters",
+        paper_loc=8_300,
+        paper_language="C",
+        paper_forked_threads=8,
+        expected_distinct_races=19 if remove_slab_lock else 18,
+        ground_truth=ground_truth,
+    )

@@ -1,0 +1,167 @@
+"""Micro-benchmarks capturing the classic harmless-race patterns (§5).
+
+The paper evaluates Portend on four home-grown micro-benchmarks:
+
+* **RW** -- redundant writes: racing threads write the same value,
+* **DBM** -- disjoint bit manipulation: racing threads set disjoint bits,
+* **AVV** -- all values valid: every value the racing read can observe is
+  acceptable to the program,
+* **DCL** -- double-checked locking.
+
+Each contains exactly one distinct race; all four are "k-witness harmless"
+with identical post-race states (Table 3).
+"""
+
+from __future__ import annotations
+
+from repro.core.categories import RaceClass
+from repro.lang.ast import add, bit_or, eq, glob, local
+from repro.lang.builder import ProgramBuilder
+from repro.workloads.base import GroundTruth, Workload
+
+
+def build_rw() -> Workload:
+    """RW: both threads store the same constant into a shared variable."""
+    b = ProgramBuilder("RW", language="C++")
+    b.global_var("shared_flag", 0)
+
+    worker = b.function("writer")
+    worker.assign(glob("shared_flag"), 1, label="rw.cpp:12")
+    worker.ret()
+
+    main = b.function("main")
+    main.spawn("t1", "writer", label="rw.cpp:20")
+    main.spawn("t2", "writer", label="rw.cpp:21")
+    main.join(local("t1"))
+    main.join(local("t2"))
+    main.output("stdout", [glob("shared_flag")], label="rw.cpp:24")
+    main.ret()
+
+    return Workload(
+        name="RW",
+        program=b.build(),
+        description="redundant writes: racing threads write the same value",
+        paper_loc=42,
+        paper_language="C++",
+        paper_forked_threads=3,
+        expected_distinct_races=1,
+        is_micro_benchmark=True,
+        ground_truth={
+            "shared_flag": GroundTruth("shared_flag", RaceClass.K_WITNESS_HARMLESS),
+        },
+    )
+
+
+def build_dbm() -> Workload:
+    """DBM: racing threads modify disjoint bits of the same word."""
+    b = ProgramBuilder("DBM", language="C++")
+    b.global_var("status_bits", 0)
+
+    low = b.function("set_low_bit")
+    low.assign(glob("status_bits"), bit_or(glob("status_bits"), 1), label="dbm.cpp:10")
+    low.ret()
+
+    high = b.function("set_high_bit")
+    high.assign(glob("status_bits"), bit_or(glob("status_bits"), 2), label="dbm.cpp:11")
+    high.ret()
+
+    main = b.function("main")
+    main.spawn("t1", "set_low_bit", label="dbm.cpp:20")
+    main.spawn("t2", "set_high_bit", label="dbm.cpp:21")
+    main.join(local("t1"))
+    main.join(local("t2"))
+    main.output("stdout", [glob("status_bits")], label="dbm.cpp:24")
+    main.ret()
+
+    return Workload(
+        name="DBM",
+        program=b.build(),
+        description="disjoint bit manipulation of a shared bit-field",
+        paper_loc=45,
+        paper_language="C++",
+        paper_forked_threads=3,
+        expected_distinct_races=1,
+        is_micro_benchmark=True,
+        ground_truth={
+            "status_bits": GroundTruth("status_bits", RaceClass.K_WITNESS_HARMLESS),
+        },
+    )
+
+
+def build_avv() -> Workload:
+    """AVV: the racing read accepts every value it can possibly observe."""
+    b = ProgramBuilder("AVV", language="C++")
+    b.global_var("batch_size", 8)
+
+    tuner = b.function("tuner")
+    tuner.assign(glob("batch_size"), 16, label="avv.cpp:9")
+    tuner.ret()
+
+    worker = b.function("worker")
+    # The racing read: both 8 and 16 are valid batch sizes; the value only
+    # influences thread-local work, never the program output.
+    worker.assign(local("size"), glob("batch_size"), label="avv.cpp:15")
+    worker.assign(local("work"), add(local("size"), 1))
+    worker.ret()
+
+    main = b.function("main")
+    main.spawn("t1", "tuner", label="avv.cpp:20")
+    main.spawn("t2", "worker", label="avv.cpp:21")
+    main.join(local("t1"))
+    main.join(local("t2"))
+    main.output("stdout", [1], label="avv.cpp:24")
+    main.ret()
+
+    return Workload(
+        name="AVV",
+        program=b.build(),
+        description="all observable values of the racing read are valid",
+        paper_loc=49,
+        paper_language="C++",
+        paper_forked_threads=3,
+        expected_distinct_races=1,
+        is_micro_benchmark=True,
+        ground_truth={
+            "batch_size": GroundTruth("batch_size", RaceClass.K_WITNESS_HARMLESS),
+        },
+    )
+
+
+def build_dcl() -> Workload:
+    """DCL: double-checked locking around a one-time initialisation."""
+    b = ProgramBuilder("DCL", language="C++")
+    b.global_var("initialized", 0)
+    b.global_var("resource", 0)
+    b.mutex("init_lock")
+
+    user = b.function("use_resource")
+    # First (unlocked) check races with the initialising write below.
+    with user.if_(eq(glob("initialized"), 0), label="dcl.cpp:14"):
+        user.lock("init_lock", label="dcl.cpp:15")
+        with user.if_(eq(glob("initialized"), 0), label="dcl.cpp:16"):
+            user.assign(glob("resource"), 99, label="dcl.cpp:17")
+            user.assign(glob("initialized"), 1, label="dcl.cpp:18")
+        user.unlock("init_lock", label="dcl.cpp:19")
+    user.ret()
+
+    main = b.function("main")
+    for index in range(4):
+        main.spawn(f"t{index}", "use_resource", label=f"dcl.cpp:{30 + index}")
+    for index in range(4):
+        main.join(local(f"t{index}"))
+    main.output("stdout", [glob("resource")], label="dcl.cpp:40")
+    main.ret()
+
+    return Workload(
+        name="DCL",
+        program=b.build(),
+        description="double-checked locking around one-time initialisation",
+        paper_loc=45,
+        paper_language="C++",
+        paper_forked_threads=5,
+        expected_distinct_races=1,
+        is_micro_benchmark=True,
+        ground_truth={
+            "initialized": GroundTruth("initialized", RaceClass.K_WITNESS_HARMLESS),
+        },
+    )

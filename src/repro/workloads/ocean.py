@@ -1,0 +1,112 @@
+"""Ocean model workload (SPLASH-2 eddy-current simulator).
+
+Table 3 reports 5 distinct races in ocean: four are "single ordering"
+(guarded by ad-hoc synchronisation between the solver phases) and one is
+classified "k-witness harmless" by Portend.  §5.4 notes that this last
+classification is the tool's only mistake: the race actually belongs in
+"output differs", but the path on which the output depends on the race
+"requires a very specific and complex combination of inputs" that the
+exploration does not find even with k = 10.
+
+The model mirrors that: the solver thread publishes four grid aggregates and
+raises a phase flag that the main thread spins on (four single-ordering
+races), and the number of spin iterations -- which depends on the ordering of
+the phase-flag accesses -- is printed only when an undocumented debugging
+constant is passed as the third command-line option, which is outside the set
+of inputs the analysis treats as symbolic.  Ground truth marks the flag race
+"output differs"; Portend is expected to call it "k-witness harmless",
+reproducing the paper's single misclassification.
+"""
+
+from __future__ import annotations
+
+from repro.core.categories import RaceClass
+from repro.lang.ast import add, eq, glob, local
+from repro.lang.builder import ProgramBuilder
+from repro.workloads.base import GroundTruth, Workload
+
+_GRID_FIELDS = ("ocean_psi", "ocean_vorticity", "ocean_error_norm", "ocean_work_done")
+
+
+def build_ocean() -> Workload:
+    b = ProgramBuilder("ocean", language="C")
+    b.global_var("phase_done", 0)
+    for name in _GRID_FIELDS:
+        b.global_var(name, 0)
+    b.mutex("stats_lock")
+
+    solver = b.function("relax_solver")
+    for offset, name in enumerate(_GRID_FIELDS):
+        solver.assign(glob(name), 100 + offset, label=f"ocean.c:{400 + offset}")
+    solver.assign(glob("phase_done"), 1, label="ocean.c:410")
+    solver.ret()
+
+    # A second worker that only performs properly locked bookkeeping; it
+    # exists to match the paper's thread count without adding races.
+    logger = b.function("stats_logger")
+    logger.lock("stats_lock", label="ocean.c:500")
+    logger.assign(local("tick"), 1, label="ocean.c:501")
+    logger.unlock("stats_lock", label="ocean.c:502")
+    logger.ret()
+
+    main = b.function("main")
+    main.input("grid_size", "grid_size", 16, 64, default=32, label="ocean.c:20")
+    main.input("timesteps", "timesteps", 1, 8, default=2, label="ocean.c:21")
+    main.input("debug_const", "debug_const", 0, 255, default=0, label="ocean.c:22")
+    main.spawn("solver", "relax_solver", label="ocean.c:30")
+    main.spawn("logger", "stats_logger", label="ocean.c:31")
+
+    # Ad-hoc phase synchronisation: spin until the solver publishes.
+    main.assign(local("spin_iters"), 0, label="ocean.c:40")
+    with main.while_(eq(glob("phase_done"), 0), label="ocean.c:41"):
+        main.assign(local("spin_iters"), add(local("spin_iters"), 1), label="ocean.c:42")
+        main.sleep(1, label="ocean.c:43")
+
+    # The guarded reads: one single-ordering race per grid aggregate.
+    for offset, name in enumerate(_GRID_FIELDS):
+        main.assign(local(f"snap_{name}"), glob(name), label=f"ocean.c:{50 + offset}")
+
+    # The hard-to-reach diagnostic: only an undocumented debug constant makes
+    # the spin count (and hence the ordering of the phase_done accesses)
+    # visible in the output.
+    with main.if_(eq(local("debug_const"), 37), label="ocean.c:60"):
+        main.output("debug", [local("spin_iters")], label="ocean.c:61")
+
+    main.output(
+        "stdout",
+        [add(local("snap_ocean_psi"), local("snap_ocean_vorticity"))],
+        label="ocean.c:70",
+    )
+    main.join(local("solver"))
+    main.join(local("logger"))
+    main.ret()
+
+    ground_truth = {
+        name: GroundTruth(
+            name,
+            RaceClass.SINGLE_ORDERING,
+            note="read only after the busy-wait on phase_done",
+        )
+        for name in _GRID_FIELDS
+    }
+    ground_truth["phase_done"] = GroundTruth(
+        "phase_done",
+        RaceClass.OUTPUT_DIFFERS,
+        requires_multi_path=True,
+        note=(
+            "actually output-differs via an undocumented debug constant; "
+            "Portend is expected to misclassify it as k-witness harmless (§5.4)"
+        ),
+    )
+
+    return Workload(
+        name="ocean",
+        program=b.build(),
+        inputs={"grid_size": 32, "timesteps": 2, "debug_const": 0},
+        description="SPLASH-2 ocean: ad-hoc phase synchronisation between solver steps",
+        paper_loc=11_665,
+        paper_language="C",
+        paper_forked_threads=2,
+        expected_distinct_races=5,
+        ground_truth=ground_truth,
+    )

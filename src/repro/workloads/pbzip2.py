@@ -1,0 +1,154 @@
+"""Pbzip2 model workload (parallel bzip2 compressor).
+
+Table 3 reports 31 distinct races in pbzip2 2.1.1: three "spec violated"
+(crashes, Table 2), three "output differs" and twenty-five "single ordering".
+Fig. 8(d) shows the dominant pattern: the file-writer thread spins on the
+ad-hoc ``allDone`` flag before consuming the output buffers that the
+decompressor threads fill, so the alternate ordering of the buffer accesses
+can never be enforced.
+
+The model:
+
+* twenty-five output-buffer blocks filled by the producer and consumed by the
+  writer (main) after the busy-wait -- the single-ordering races;
+* the ``allDone`` flag itself plus two progress statistics -- the
+  output-differs races (one of them only reaches the output when the
+  ``--verbose`` option is given, which the recorded test does not use, so it
+  needs multi-path analysis; cf. Fig. 7);
+* three pieces of stream metadata that main consumes eagerly -- in the
+  alternate ordering main observes the uninitialised values and crashes with
+  a division by zero, an out-of-bounds buffer index, and a failed sanity
+  assertion respectively (the three crashes of Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.categories import RaceClass, SpecViolationKind
+from repro.lang.ast import add, arr, div, eq, ge, glob, local
+from repro.lang.builder import ProgramBuilder
+from repro.workloads.base import GroundTruth, Workload
+
+_NUM_BLOCKS = 25
+_BLOCK_VARS = tuple(f"OutputBuffer_{index}" for index in range(_NUM_BLOCKS))
+
+
+def build_pbzip2() -> Workload:
+    b = ProgramBuilder("pbzip2", language="C++")
+    b.global_var("allDone", 0)
+    b.global_var("progress_pct", 0)
+    b.global_var("compression_ratio", 0)
+    b.global_var("nblocks", 0)
+    b.global_var("last_block", 9)
+    b.global_var("stream_state", 0)
+    b.array("block_sizes", 4, fill=1)
+    for name in _BLOCK_VARS:
+        b.global_var(name, 0)
+
+    # --- producer: decompresses blocks into the output buffers -------------
+    producer = b.function("decompress_blocks")
+    for offset, name in enumerate(_BLOCK_VARS):
+        producer.assign(glob(name), 500 + offset, label=f"pbzip2.cpp:{380 + offset}")
+    producer.assign(glob("progress_pct"), 100, label="pbzip2.cpp:420")
+    producer.assign(glob("compression_ratio"), 3, label="pbzip2.cpp:421")
+    producer.assign(glob("allDone"), 1, label="pbzip2.cpp:422")
+    producer.ret()
+
+    # --- metadata helpers: their results are consumed eagerly by main ------
+    meta_counter = b.function("count_blocks")
+    meta_counter.assign(glob("nblocks"), 4, label="pbzip2.cpp:150")
+    meta_counter.ret()
+
+    meta_indexer = b.function("index_blocks")
+    meta_indexer.assign(glob("last_block"), 2, label="pbzip2.cpp:160")
+    meta_indexer.ret()
+
+    meta_checker = b.function("check_stream")
+    meta_checker.assign(glob("stream_state"), 1, label="pbzip2.cpp:170")
+    meta_checker.ret()
+
+    main = b.function("main")
+    main.input("verbose", "verbose", 0, 3, default=1, label="pbzip2.cpp:30")
+    main.input("queue_depth", "queue_depth", 1, 8, default=2, label="pbzip2.cpp:31")
+    main.spawn("meta1", "count_blocks", label="pbzip2.cpp:40")
+    main.spawn("meta2", "index_blocks", label="pbzip2.cpp:41")
+    main.spawn("meta3", "check_stream", label="pbzip2.cpp:42")
+    main.spawn("producer", "decompress_blocks", label="pbzip2.cpp:43")
+
+    # Eager metadata consumption: correct only if the helpers already ran.
+    main.assign(local("avg_size"), div(100, glob("nblocks")), label="pbzip2.cpp:50")
+    main.assign(local("size_entry"), arr("block_sizes", glob("last_block")), label="pbzip2.cpp:51")
+    main.assert_(eq(glob("stream_state"), 1), "invalid stream state", label="pbzip2.cpp:52")
+
+    # Progress statistics: one printed unconditionally, one only with -v 0.
+    main.output("progress", [glob("progress_pct")], label="pbzip2.cpp:60")
+    main.assign(local("ratio_snapshot"), glob("compression_ratio"), label="pbzip2.cpp:61")
+    with main.if_(ge(local("verbose"), 1), label="pbzip2.cpp:62"):
+        main.nop(label="pbzip2.cpp:63")
+    with main.else_():
+        main.output("progress", [local("ratio_snapshot")], label="pbzip2.cpp:64")
+
+    # Fig. 8(d): the file writer spins on allDone before draining the buffers.
+    main.assign(local("wait_iters"), 0, label="pbzip2.cpp:698")
+    with main.while_(eq(glob("allDone"), 0), label="pbzip2.cpp:700"):
+        main.assign(local("wait_iters"), add(local("wait_iters"), 1), label="pbzip2.cpp:701")
+        main.sleep(1, label="pbzip2.cpp:702")
+    main.output("log", [local("wait_iters")], label="pbzip2.cpp:703")
+    main.assign(local("written"), 0, label="pbzip2.cpp:704")
+    for offset, name in enumerate(_BLOCK_VARS):
+        main.assign(
+            local("written"), add(local("written"), glob(name)), label=f"pbzip2.cpp:{710 + offset}"
+        )
+    main.output("stdout", [local("written")], label="pbzip2.cpp:740")
+
+    main.join(local("meta1"))
+    main.join(local("meta2"))
+    main.join(local("meta3"))
+    main.join(local("producer"))
+    main.ret()
+
+    ground_truth: Dict[str, GroundTruth] = {
+        name: GroundTruth(
+            name,
+            RaceClass.SINGLE_ORDERING,
+            note="output buffer consumed only after the busy-wait on allDone (Fig. 8d)",
+        )
+        for name in _BLOCK_VARS
+    }
+    ground_truth["nblocks"] = GroundTruth(
+        "nblocks", RaceClass.SPEC_VIOLATED, spec_kind=SpecViolationKind.CRASH,
+        note="alternate ordering divides by the uninitialised block count",
+    )
+    ground_truth["last_block"] = GroundTruth(
+        "last_block", RaceClass.SPEC_VIOLATED, spec_kind=SpecViolationKind.CRASH,
+        note="alternate ordering indexes block_sizes with the uninitialised value",
+    )
+    ground_truth["stream_state"] = GroundTruth(
+        "stream_state", RaceClass.SPEC_VIOLATED, spec_kind=SpecViolationKind.CRASH,
+        note="alternate ordering fails the stream sanity assertion",
+    )
+    ground_truth["allDone"] = GroundTruth(
+        "allDone", RaceClass.OUTPUT_DIFFERS,
+        note="the writer logs how long it waited for the decompressors",
+    )
+    ground_truth["progress_pct"] = GroundTruth(
+        "progress_pct", RaceClass.OUTPUT_DIFFERS,
+        note="progress percentage printed while still being updated",
+    )
+    ground_truth["compression_ratio"] = GroundTruth(
+        "compression_ratio", RaceClass.OUTPUT_DIFFERS, requires_multi_path=True,
+        note="printed only with --verbose 0, which the recorded test does not use",
+    )
+
+    return Workload(
+        name="pbzip2",
+        program=b.build(),
+        inputs={"verbose": 1, "queue_depth": 2},
+        description="parallel bzip2: ad-hoc completion flag guarding the output buffers",
+        paper_loc=6_686,
+        paper_language="C++",
+        paper_forked_threads=4,
+        expected_distinct_races=31,
+        ground_truth=ground_truth,
+    )

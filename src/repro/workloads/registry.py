@@ -1,0 +1,64 @@
+"""Workload registry: look up evaluation targets by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads.base import Workload
+from repro.workloads.bbuf import build_bbuf
+from repro.workloads.ctrace import build_ctrace
+from repro.workloads.fmm import build_fmm
+from repro.workloads.memcached import build_memcached
+from repro.workloads.microbench import build_avv, build_dbm, build_dcl, build_rw
+from repro.workloads.ocean import build_ocean
+from repro.workloads.pbzip2 import build_pbzip2
+from repro.workloads.sqlite import build_sqlite
+
+#: the 7 real-world applications of Table 1, in the paper's order
+REAL_WORLD_APPLICATIONS = (
+    "SQLite",
+    "ocean",
+    "fmm",
+    "memcached",
+    "pbzip2",
+    "ctrace",
+    "bbuf",
+)
+
+#: the 4 home-grown micro-benchmarks of Table 1
+MICRO_BENCHMARKS = ("AVV", "DCL", "DBM", "RW")
+
+_BUILDERS: Dict[str, Callable[[], Workload]] = {
+    "SQLite": build_sqlite,
+    "ocean": build_ocean,
+    "fmm": build_fmm,
+    "memcached": build_memcached,
+    "pbzip2": build_pbzip2,
+    "ctrace": build_ctrace,
+    "bbuf": build_bbuf,
+    "AVV": build_avv,
+    "DCL": build_dcl,
+    "DBM": build_dbm,
+    "RW": build_rw,
+}
+
+
+def all_workload_names() -> List[str]:
+    """Every workload, real-world applications first (Table 1 order)."""
+    return list(REAL_WORLD_APPLICATIONS) + list(MICRO_BENCHMARKS)
+
+
+def load_workload(name: str) -> Workload:
+    """Build a workload by (case-insensitive) name."""
+    for candidate, builder in _BUILDERS.items():
+        if candidate.lower() == name.lower():
+            return builder()
+    raise KeyError(
+        f"unknown workload {name!r}; available: {', '.join(all_workload_names())}"
+    )
+
+
+def all_workloads(include_micro: bool = True) -> List[Workload]:
+    """Build every workload (fresh program instances each call)."""
+    names = all_workload_names() if include_micro else list(REAL_WORLD_APPLICATIONS)
+    return [load_workload(name) for name in names]

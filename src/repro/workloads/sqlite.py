@@ -1,0 +1,70 @@
+"""SQLite model workload.
+
+The paper reports exactly one distinct race in SQLite 3.3.0, and it is
+harmful: the alternate ordering of the racing accesses leads to a deadlock
+(Table 2).  The model reproduces the classic lost-wakeup shape: a worker
+thread publishes "the database is ready" through an unsynchronised flag and
+then signals a condition variable; the main thread checks the flag without
+holding the lock and, if it believes the database is not ready yet, waits on
+the condition variable.  In the recorded execution the flag write wins the
+race and everything works; if the racing read is reordered before the write,
+the signal fires while nobody is waiting and the main thread blocks forever.
+"""
+
+from __future__ import annotations
+
+from repro.core.categories import RaceClass, SpecViolationKind
+from repro.lang.ast import eq, glob, local
+from repro.lang.builder import ProgramBuilder
+from repro.workloads.base import GroundTruth, Workload
+
+
+def build_sqlite() -> Workload:
+    b = ProgramBuilder("SQLite", language="C")
+    b.global_var("db_ready", 0)
+    b.global_var("pages_loaded", 0)
+    b.mutex("db_mutex")
+    b.condvar("db_ready_cond")
+
+    opener = b.function("db_opener")
+    opener.assign(glob("pages_loaded"), 128, label="sqlite3.c:2210")
+    # The wakeup is delivered first (nobody is expected to be waiting yet)...
+    opener.cond_signal("db_ready_cond", label="sqlite3.c:2213")
+    # ...and only then is readiness published, without holding db_mutex: this
+    # is the racing write.
+    opener.assign(glob("db_ready"), 1, label="sqlite3.c:2214")
+    opener.ret()
+
+    main = b.function("main")
+    main.spawn("opener", "db_opener", label="shell.c:88")
+    # Give the opener a chance to run (a pthread call, not a happens-before
+    # edge with the opener's writes).
+    main.yield_(label="shell.c:89")
+    # The racing read: checked outside the mutex ("fast path").  If it is
+    # reordered before the opener's write, the wakeup has already been lost
+    # and the wait below never returns.
+    with main.if_(eq(glob("db_ready"), 0), label="shell.c:95"):
+        main.lock("db_mutex", label="shell.c:96")
+        main.cond_wait("db_ready_cond", "db_mutex", label="shell.c:97")
+        main.unlock("db_mutex", label="shell.c:98")
+    main.join(local("opener"))
+    main.output("stdout", [glob("pages_loaded")], label="shell.c:102")
+    main.ret()
+
+    return Workload(
+        name="SQLite",
+        program=b.build(),
+        description="lost-wakeup deadlock guarded only by a racy ready flag",
+        paper_loc=113_326,
+        paper_language="C",
+        paper_forked_threads=2,
+        expected_distinct_races=1,
+        ground_truth={
+            "db_ready": GroundTruth(
+                "db_ready",
+                RaceClass.SPEC_VIOLATED,
+                spec_kind=SpecViolationKind.DEADLOCK,
+                note="alternate ordering loses the wakeup and deadlocks",
+            ),
+        },
+    )

@@ -1,0 +1,155 @@
+"""Tests for vector clocks, the happens-before detector and race clustering."""
+
+from hypothesis import given, strategies as st
+
+from repro.detection.vector_clock import VectorClock
+from repro.detection.happens_before import HappensBeforeDetector
+from repro.detection.lockset import LockSetDetector
+from repro.detection.race_report import cluster_races
+from repro.lang import ProgramBuilder
+from repro.lang.ast import add, glob, local
+from repro.record_replay import record_execution
+from repro.runtime.executor import Executor
+
+
+class TestVectorClock:
+    def test_increment_and_get(self):
+        vc = VectorClock()
+        vc.increment(1)
+        vc.increment(1)
+        assert vc.get(1) == 2
+        assert vc.get(2) == 0
+
+    def test_merge_is_pointwise_max(self):
+        a = VectorClock({1: 3, 2: 1})
+        b = VectorClock({1: 1, 3: 4})
+        a.merge(b)
+        assert a.as_dict() == {1: 3, 2: 1, 3: 4}
+
+    def test_happens_before_and_concurrency(self):
+        a = VectorClock({1: 1})
+        b = VectorClock({1: 2, 2: 1})
+        assert a.happens_before(b)
+        assert not b.happens_before(a)
+        c = VectorClock({2: 5})
+        assert a.concurrent_with(c)
+        assert not a.happens_before(a)
+
+    @given(
+        entries=st.dictionaries(
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=0, max_value=10),
+            max_size=5,
+        )
+    )
+    def test_merge_is_idempotent_and_monotonic(self, entries):
+        a = VectorClock(entries)
+        b = a.copy()
+        b.merge(a)
+        assert b == a
+        c = a.copy()
+        c.increment(0)
+        assert a.less_or_equal(c)
+
+    @given(
+        first=st.dictionaries(st.integers(0, 3), st.integers(0, 5), max_size=4),
+        second=st.dictionaries(st.integers(0, 3), st.integers(0, 5), max_size=4),
+    )
+    def test_happens_before_is_antisymmetric(self, first, second):
+        a, b = VectorClock(first), VectorClock(second)
+        assert not (a.happens_before(b) and b.happens_before(a))
+
+
+def _racy_program(protect_with_mutex: bool):
+    b = ProgramBuilder("racy")
+    b.global_var("shared", 0)
+    b.mutex("m")
+    worker = b.function("worker")
+    if protect_with_mutex:
+        worker.lock("m")
+    worker.assign(glob("shared"), add(glob("shared"), 1), label="racy.c:10")
+    if protect_with_mutex:
+        worker.unlock("m")
+    worker.ret()
+    main = b.function("main")
+    main.spawn("t", "worker")
+    if protect_with_mutex:
+        main.lock("m")
+    main.assign(glob("shared"), add(glob("shared"), 1), label="racy.c:20")
+    if protect_with_mutex:
+        main.unlock("m")
+    main.join(local("t"))
+    main.ret()
+    return b.build()
+
+
+class TestHappensBeforeDetector:
+    def test_unprotected_access_reports_race(self):
+        trace, _, _ = record_execution(_racy_program(protect_with_mutex=False))
+        assert len(trace.races) == 1
+        race = trace.races[0]
+        assert race.location.name == "shared"
+        assert race.first.tid != race.second.tid
+
+    def test_mutex_protected_access_reports_no_race(self):
+        trace, _, _ = record_execution(_racy_program(protect_with_mutex=True))
+        assert trace.races == []
+
+    def test_ignore_mutexes_reintroduces_the_report(self):
+        detector = HappensBeforeDetector(ignore_mutexes=True)
+        trace, _, _ = record_execution(
+            _racy_program(protect_with_mutex=True), detector=detector
+        )
+        assert len(trace.races) == 1
+
+    def test_spawn_and_join_create_happens_before(self):
+        b = ProgramBuilder("hb")
+        b.global_var("x", 0)
+        worker = b.function("worker")
+        worker.assign(glob("x"), 5)
+        worker.ret()
+        main = b.function("main")
+        main.assign(glob("x"), 1)   # before spawn: ordered
+        main.spawn("t", "worker")
+        main.join(local("t"))
+        main.assign(glob("x"), 2)   # after join: ordered
+        main.ret()
+        trace, _, _ = record_execution(b.build())
+        assert trace.races == []
+
+    def test_clustering_collapses_instances(self):
+        b = ProgramBuilder("instances")
+        b.global_var("x", 0)
+        worker = b.function("worker")
+        worker.assign(local("i"), 0)
+        from repro.lang.ast import lt
+        with worker.while_(lt(local("i"), 3)):
+            worker.assign(glob("x"), local("i"), label="inst.c:5")
+            worker.assign(local("i"), add(local("i"), 1))
+        worker.ret()
+        main = b.function("main")
+        main.spawn("t", "worker")
+        main.assign(glob("x"), 99, label="inst.c:20")
+        main.join(local("t"))
+        main.ret()
+        trace, _, _ = record_execution(b.build())
+        assert len(trace.races) == 1
+        assert trace.races[0].instance_count >= 1
+
+
+class TestLockSetDetector:
+    def test_lockset_reports_unprotected_sharing(self):
+        program = _racy_program(protect_with_mutex=False)
+        detector = LockSetDetector()
+        executor = Executor(program)
+        state = executor.initial_state()
+        executor.run(state, listeners=[detector])
+        assert detector.races()
+
+    def test_lockset_quiet_when_consistently_locked(self):
+        program = _racy_program(protect_with_mutex=True)
+        detector = LockSetDetector()
+        executor = Executor(program)
+        state = executor.initial_state()
+        executor.run(state, listeners=[detector])
+        assert detector.races() == []

@@ -1,0 +1,345 @@
+"""Tests for the mini language, program container and interpreter runtime."""
+
+import pytest
+
+from repro.lang import ProgramBuilder
+from repro.lang.ast import add, arr, div, eq, ge, glob, heap, local, lt
+from repro.lang.program import ProgramError
+from repro.runtime.errors import CrashKind, OutcomeKind
+from repro.runtime.executor import Executor, RunStatus
+from repro.runtime.scheduler import RandomPolicy, ReplayPolicy, RoundRobinPolicy
+
+
+def run_program(builder: ProgramBuilder, inputs=None, policy=None, max_steps=50_000):
+    program = builder.build()
+    executor = Executor(program)
+    state = executor.initial_state(concrete_inputs=inputs or {})
+    result = executor.run(state, policy=policy or RoundRobinPolicy(), max_steps=max_steps)
+    return program, state, result
+
+
+class TestProgramConstruction:
+    def test_duplicate_global_rejected(self):
+        b = ProgramBuilder("dup")
+        b.global_var("x", 0)
+        with pytest.raises(ProgramError):
+            b.global_var("x", 1)
+
+    def test_unknown_call_rejected(self):
+        b = ProgramBuilder("badcall")
+        main = b.function("main")
+        main.call("missing")
+        with pytest.raises(ProgramError):
+            b.build()
+
+    def test_pcs_are_unique_and_dense(self):
+        b = ProgramBuilder("pcs")
+        main = b.function("main")
+        main.assign(local("a"), 1)
+        with main.if_(eq(local("a"), 1)):
+            main.assign(local("b"), 2)
+        main.ret()
+        program = b.build()
+        pcs = program.all_pcs()
+        assert len(pcs) == len(set(pcs)) == program.statement_count()
+
+    def test_write_sets_are_transitive(self):
+        b = ProgramBuilder("writes")
+        b.global_var("g", 0)
+        helper = b.function("helper")
+        helper.assign(glob("g"), 1)
+        main = b.function("main")
+        main.call("helper")
+        main.ret()
+        program = b.build()
+        assert ("global", "g") in program.write_set("main")
+
+
+class TestSequentialExecution:
+    def test_arithmetic_and_output(self):
+        b = ProgramBuilder("arith")
+        b.global_var("g", 3)
+        main = b.function("main")
+        main.assign(local("x"), add(glob("g"), 4))
+        main.output("stdout", [local("x"), div(local("x"), 2)])
+        main.ret()
+        _, state, _ = run_program(b)
+        assert state.outcome.kind is OutcomeKind.DONE
+        assert state.output_log[0].values == (7, 3)
+
+    def test_while_loop_and_locals(self):
+        b = ProgramBuilder("loop")
+        main = b.function("main")
+        main.assign(local("i"), 0)
+        main.assign(local("sum"), 0)
+        with main.while_(lt(local("i"), 5)):
+            main.assign(local("sum"), add(local("sum"), local("i")))
+            main.assign(local("i"), add(local("i"), 1))
+        main.output("stdout", [local("sum")])
+        main.ret()
+        _, state, _ = run_program(b)
+        assert state.output_log[0].values == (10,)
+
+    def test_function_call_and_return_value(self):
+        b = ProgramBuilder("call")
+        callee = b.function("double_it", params=["v"])
+        callee.ret(add(local("v"), local("v")))
+        main = b.function("main")
+        main.call("double_it", [21], target="result")
+        main.output("stdout", [local("result")])
+        main.ret()
+        _, state, _ = run_program(b)
+        assert state.output_log[0].values == (42,)
+
+    def test_inputs_concrete_and_default(self):
+        b = ProgramBuilder("inputs")
+        main = b.function("main")
+        main.input("x", "x", 0, 9, default=4)
+        main.output("stdout", [local("x")])
+        main.ret()
+        _, state, _ = run_program(b, inputs={"x": 6})
+        assert state.output_log[0].values == (6,)
+        _, state, _ = run_program(b)
+        assert state.output_log[0].values == (4,)
+
+    def test_break_and_continue(self):
+        b = ProgramBuilder("breaks")
+        main = b.function("main")
+        main.assign(local("i"), 0)
+        main.assign(local("acc"), 0)
+        with main.while_(lt(local("i"), 10)):
+            main.assign(local("i"), add(local("i"), 1))
+            with main.if_(eq(local("i"), 3)):
+                main.continue_()
+            with main.if_(eq(local("i"), 6)):
+                main.break_()
+            main.assign(local("acc"), add(local("acc"), local("i")))
+        main.output("stdout", [local("acc"), local("i")])
+        main.ret()
+        _, state, _ = run_program(b)
+        # 1 + 2 + 4 + 5 (3 skipped by continue, loop exits at 6)
+        assert state.output_log[0].values == (12, 6)
+
+
+class TestCrashes:
+    def test_division_by_zero(self):
+        b = ProgramBuilder("div0")
+        b.global_var("z", 0)
+        main = b.function("main")
+        main.assign(local("x"), div(10, glob("z")))
+        main.ret()
+        _, state, _ = run_program(b)
+        assert state.outcome.kind is OutcomeKind.CRASH
+        assert state.outcome.crash.kind is CrashKind.DIVISION_BY_ZERO
+
+    def test_array_out_of_bounds(self):
+        b = ProgramBuilder("oob")
+        b.array("buf", 4)
+        main = b.function("main")
+        main.assign(arr("buf", 9), 1)
+        main.ret()
+        _, state, _ = run_program(b)
+        assert state.outcome.crash.kind is CrashKind.OUT_OF_BOUNDS
+
+    def test_double_free_and_use_after_free(self):
+        b = ProgramBuilder("heapbugs")
+        main = b.function("main")
+        main.malloc("p", 4)
+        main.free(local("p"))
+        main.free(local("p"))
+        main.ret()
+        _, state, _ = run_program(b)
+        assert state.outcome.crash.kind is CrashKind.DOUBLE_FREE
+
+    def test_assertion_failure(self):
+        b = ProgramBuilder("assert")
+        b.global_var("mode", 0)
+        main = b.function("main")
+        main.assert_(eq(glob("mode"), 1), "bad mode")
+        main.ret()
+        _, state, _ = run_program(b)
+        assert state.outcome.crash.kind is CrashKind.ASSERTION_FAILURE
+
+    def test_heap_read_write(self):
+        b = ProgramBuilder("heap")
+        main = b.function("main")
+        main.malloc("p", 2)
+        main.assign(heap(local("p"), 1), 5)
+        main.output("stdout", [heap(local("p"), 1)])
+        main.ret()
+        _, state, _ = run_program(b)
+        assert state.output_log[0].values == (5,)
+
+
+class TestThreadsAndSync:
+    def _counter_program(self, locked: bool) -> ProgramBuilder:
+        b = ProgramBuilder("counter")
+        b.global_var("count", 0)
+        b.mutex("m")
+        worker = b.function("worker")
+        if locked:
+            worker.lock("m")
+        worker.assign(glob("count"), add(glob("count"), 1))
+        if locked:
+            worker.unlock("m")
+        worker.ret()
+        main = b.function("main")
+        main.spawn("t1", "worker")
+        main.spawn("t2", "worker")
+        main.join(local("t1"))
+        main.join(local("t2"))
+        main.output("stdout", [glob("count")])
+        main.ret()
+        return b
+
+    def test_two_workers_increment(self):
+        _, state, _ = run_program(self._counter_program(locked=True))
+        assert state.outcome.kind is OutcomeKind.DONE
+        assert state.output_log[0].values == (2,)
+
+    def test_join_waits_for_workers(self):
+        _, state, _ = run_program(self._counter_program(locked=False))
+        assert state.output_log[0].values == (2,)
+
+    def test_deadlock_detected(self):
+        b = ProgramBuilder("deadlock")
+        b.mutex("a")
+        b.mutex("b")
+        w1 = b.function("w1")
+        w1.lock("a")
+        w1.yield_()
+        w1.lock("b")
+        w1.unlock("b")
+        w1.unlock("a")
+        w1.ret()
+        w2 = b.function("w2")
+        w2.lock("b")
+        w2.yield_()
+        w2.lock("a")
+        w2.unlock("a")
+        w2.unlock("b")
+        w2.ret()
+        main = b.function("main")
+        main.spawn("t1", "w1")
+        main.spawn("t2", "w2")
+        main.join(local("t1"))
+        main.join(local("t2"))
+        main.ret()
+        _, state, _ = run_program(b)
+        assert state.outcome.kind is OutcomeKind.DEADLOCK
+
+    def test_condvar_handoff(self):
+        b = ProgramBuilder("condvar")
+        b.global_var("ready", 0)
+        b.global_var("data", 0)
+        b.mutex("m")
+        b.condvar("c")
+        producer = b.function("producer")
+        producer.lock("m")
+        producer.assign(glob("data"), 99)
+        producer.assign(glob("ready"), 1)
+        producer.cond_signal("c")
+        producer.unlock("m")
+        producer.ret()
+        main = b.function("main")
+        main.spawn("p", "producer")
+        main.lock("m")
+        with main.while_(eq(glob("ready"), 0)):
+            main.cond_wait("c", "m")
+        main.unlock("m")
+        main.output("stdout", [glob("data")])
+        main.join(local("p"))
+        main.ret()
+        _, state, _ = run_program(b)
+        assert state.outcome.kind is OutcomeKind.DONE
+        assert state.output_log[0].values == (99,)
+
+    def test_barrier_releases_all_parties(self):
+        b = ProgramBuilder("barrier")
+        b.global_var("done", 0)
+        b.barrier("bar", 3)
+        worker = b.function("worker")
+        worker.barrier_wait("bar")
+        worker.ret()
+        main = b.function("main")
+        main.spawn("t1", "worker")
+        main.spawn("t2", "worker")
+        main.barrier_wait("bar")
+        main.join(local("t1"))
+        main.join(local("t2"))
+        main.output("stdout", [1])
+        main.ret()
+        _, state, _ = run_program(b)
+        assert state.outcome.kind is OutcomeKind.DONE
+
+    def test_recursive_lock_is_a_crash(self):
+        b = ProgramBuilder("recursive")
+        b.mutex("m")
+        main = b.function("main")
+        main.lock("m")
+        main.lock("m")
+        main.ret()
+        _, state, _ = run_program(b)
+        assert state.outcome.crash.kind is CrashKind.INVALID_SYNC
+
+
+class TestSymbolicExecution:
+    def test_symbolic_branch_forks(self):
+        b = ProgramBuilder("symbolic")
+        main = b.function("main")
+        main.input("x", "x", 0, 10, default=0)
+        with main.if_(ge(local("x"), 5)):
+            main.output("stdout", ["high" and 1])
+        with main.else_():
+            main.output("stdout", [0])
+        main.ret()
+        program = b.build()
+        executor = Executor(program)
+        state = executor.initial_state(symbolic_inputs=["x"])
+        result = executor.run(state)
+        assert len(result.forks) == 1
+        assert state.symbolic_branches == 1
+        # Both paths have a consistent path condition and one output each.
+        fork = result.forks[0]
+        executor.run(fork)
+        assert len(state.output_log) == 1
+        assert len(fork.output_log) == 1
+        assert len(state.path_condition) >= 1
+
+    def test_replay_reproduces_schedule_and_outputs(self):
+        from repro.record_replay import record_execution, replay_execution
+
+        b = ProgramBuilder("replay")
+        b.global_var("x", 0)
+        worker = b.function("worker")
+        worker.assign(glob("x"), add(glob("x"), 1))
+        worker.ret()
+        main = b.function("main")
+        main.spawn("t", "worker")
+        main.assign(glob("x"), add(glob("x"), 10))
+        main.join(local("t"))
+        main.output("stdout", [glob("x")])
+        main.ret()
+        program = b.build()
+        trace, state, _ = record_execution(program)
+        replayed, _, policy = replay_execution(program, trace)
+        assert not policy.diverged
+        assert replayed.output_summary() == state.output_summary()
+        assert replayed.step_count == state.step_count
+
+    def test_random_policy_is_deterministic_per_seed(self):
+        builder_outputs = []
+        for _ in range(2):
+            b = ProgramBuilder("rand")
+            b.global_var("x", 0)
+            worker = b.function("worker")
+            worker.assign(glob("x"), 1)
+            worker.ret()
+            main = b.function("main")
+            main.spawn("t", "worker")
+            main.output("stdout", [glob("x")])
+            main.join(local("t"))
+            main.ret()
+            _, state, _ = run_program(b, policy=RandomPolicy(seed=7))
+            builder_outputs.append(state.output_summary())
+        assert builder_outputs[0] == builder_outputs[1]

@@ -1,0 +1,141 @@
+"""Unit and property tests for the symbolic expression language."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.symex.expr import (
+    BinExpr,
+    ConcreteEvaluationError,
+    Op,
+    SymVar,
+    evaluate,
+    expr_size,
+    free_variables,
+    is_symbolic,
+    make_binary,
+    make_unary,
+    render,
+    substitute,
+    sym_add,
+    sym_and,
+    sym_div,
+    sym_eq,
+    sym_ge,
+    sym_gt,
+    sym_ite,
+    sym_le,
+    sym_lt,
+    sym_mod,
+    sym_mul,
+    sym_ne,
+    sym_neg,
+    sym_not,
+    sym_or,
+    sym_sub,
+)
+
+
+class TestConstantFolding:
+    def test_concrete_arithmetic_folds(self):
+        assert sym_add(2, 3) == 5
+        assert sym_sub(2, 3) == -1
+        assert sym_mul(4, 5) == 20
+        assert sym_div(9, 2) == 4
+        assert sym_mod(9, 2) == 1
+
+    def test_c_style_division_truncates_toward_zero(self):
+        assert sym_div(-7, 2) == -3
+        assert sym_div(7, -2) == -3
+        assert sym_mod(-7, 2) == -1
+
+    def test_comparisons_fold_to_zero_or_one(self):
+        assert sym_eq(3, 3) == 1
+        assert sym_ne(3, 3) == 0
+        assert sym_lt(1, 2) == 1
+        assert sym_le(2, 2) == 1
+        assert sym_gt(1, 2) == 0
+        assert sym_ge(2, 3) == 0
+
+    def test_boolean_operators(self):
+        assert sym_and(1, 0) == 0
+        assert sym_or(0, 3) == 1
+        assert sym_not(0) == 1
+        assert sym_neg(5) == -5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ConcreteEvaluationError):
+            sym_div(1, 0)
+        with pytest.raises(ConcreteEvaluationError):
+            sym_mod(1, 0)
+
+    def test_ite_folds_concrete_condition(self):
+        assert sym_ite(1, 10, 20) == 10
+        assert sym_ite(0, 10, 20) == 20
+
+
+class TestSymbolicConstruction:
+    def test_symbolic_operand_builds_node(self):
+        x = SymVar("x", 0, 10)
+        expr = sym_add(x, 1)
+        assert is_symbolic(expr)
+        assert isinstance(expr, BinExpr)
+        assert expr.op is Op.ADD
+
+    def test_free_variables(self):
+        x, y = SymVar("x"), SymVar("y")
+        expr = sym_add(sym_mul(x, 2), y)
+        assert {v.name for v in free_variables(expr)} == {"x", "y"}
+        assert free_variables(5) == frozenset()
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(Exception):
+            SymVar("x", 5, 4)
+
+    def test_substitute_partial_and_total(self):
+        x, y = SymVar("x"), SymVar("y")
+        expr = sym_add(x, y)
+        partial = substitute(expr, {"x": 2})
+        assert is_symbolic(partial)
+        total = substitute(expr, {"x": 2, "y": 3})
+        assert total == 5
+
+    def test_evaluate_requires_total_assignment(self):
+        x = SymVar("x")
+        with pytest.raises(Exception):
+            evaluate(sym_add(x, 1), {})
+        assert evaluate(sym_add(x, 1), {"x": 4}) == 5
+
+    def test_expr_size_and_render(self):
+        x = SymVar("x")
+        expr = sym_add(sym_mul(x, 2), 1)
+        assert expr_size(expr) == 5
+        assert "x" in render(expr)
+        assert render(7) == "7"
+
+
+@given(
+    a=st.integers(min_value=-1000, max_value=1000),
+    b=st.integers(min_value=-1000, max_value=1000),
+)
+def test_symbolic_matches_concrete_semantics(a, b):
+    """Building with a symbolic var then substituting equals direct folding."""
+    x = SymVar("x", -1000, 1000)
+    for op, direct in [
+        (Op.ADD, a + b),
+        (Op.SUB, a - b),
+        (Op.MUL, a * b),
+        (Op.EQ, int(a == b)),
+        (Op.LT, int(a < b)),
+        (Op.GE, int(a >= b)),
+        (Op.MAX, max(a, b)),
+        (Op.MIN, min(a, b)),
+    ]:
+        expr = make_binary(op, x, b)
+        assert substitute(expr, {"x": a}) == direct
+
+
+@given(value=st.integers(min_value=-50, max_value=50))
+def test_double_negation_round_trips(value):
+    x = SymVar("x", -50, 50)
+    expr = make_unary(Op.NEG, make_unary(Op.NEG, x))
+    assert substitute(expr, {"x": value}) == value

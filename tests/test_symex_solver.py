@@ -1,0 +1,130 @@
+"""Tests for the bounded-domain solver, simplifier and path conditions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.symex.expr import SymVar, sym_add, sym_and, sym_eq, sym_ge, sym_gt, sym_le, sym_lt, sym_ne
+from repro.symex.path_condition import PathCondition
+from repro.symex.simplify import simplify
+from repro.symex.solver import Solver, SolverResult
+
+
+@pytest.fixture
+def solver():
+    return Solver(max_assignments=50_000)
+
+
+class TestSolverBasics:
+    def test_empty_constraints_are_sat(self, solver):
+        verdict, model = solver.check([])
+        assert verdict is SolverResult.SAT
+        assert model == {}
+
+    def test_simple_equality_model(self, solver):
+        x = SymVar("x", 0, 10)
+        model = solver.get_model([sym_eq(x, 7)])
+        assert model == {"x": 7}
+
+    def test_contradiction_is_unsat(self, solver):
+        x = SymVar("x", 0, 10)
+        assert not solver.is_satisfiable([sym_eq(x, 3), sym_eq(x, 4)], unknown_is_sat=False)
+
+    def test_domain_bounds_respected(self, solver):
+        x = SymVar("x", 0, 5)
+        assert not solver.is_satisfiable([sym_gt(x, 5)], unknown_is_sat=False)
+        assert solver.is_satisfiable([sym_ge(x, 5)])
+
+    def test_interval_narrowing_with_two_variables(self, solver):
+        x = SymVar("x", 0, 20)
+        y = SymVar("y", 0, 20)
+        model = solver.get_model([sym_ge(x, 18), sym_le(y, 1), sym_eq(sym_add(x, y), 19)])
+        assert model is not None
+        assert model["x"] + model["y"] == 19
+
+    def test_check_value_membership(self, solver):
+        x = SymVar("x", 0, 10)
+        constraints = [sym_ge(x, 3), sym_le(x, 6)]
+        assert solver.check_value(constraints, x, 5)
+        assert not solver.check_value(constraints, x, 9)
+        # Concrete expression: equality semantics.
+        assert solver.check_value(constraints, 7, 7)
+        assert not solver.check_value(constraints, 7, 8)
+
+    def test_must_hold(self, solver):
+        x = SymVar("x", 0, 10)
+        assert solver.must_hold([sym_ge(x, 4)], sym_gt(x, 3))
+        assert not solver.must_hold([sym_ge(x, 2)], sym_gt(x, 3))
+
+    def test_value_range(self, solver):
+        x = SymVar("x", 0, 10)
+        bounds = solver.value_range([sym_ge(x, 2), sym_le(x, 4)], sym_add(x, 1))
+        assert bounds == (3, 5)
+
+
+class TestSimplify:
+    def test_identities(self):
+        x = SymVar("x", 0, 10)
+        assert simplify(sym_add(x, 0)) is x
+        assert simplify(sym_add(0, x)) is x
+        from repro.symex.expr import sym_mul, sym_sub
+        assert simplify(sym_mul(x, 1)) is x
+        assert simplify(sym_mul(x, 0)) == 0
+        assert simplify(sym_sub(x, x)) == 0
+
+    def test_comparison_of_identical_subtrees(self):
+        x = SymVar("x", 0, 10)
+        assert simplify(sym_eq(x, x)) == 1
+        assert simplify(sym_ne(x, x)) == 0
+        assert simplify(sym_le(x, x)) == 1
+
+    def test_domain_based_folding(self):
+        x = SymVar("x", 0, 10)
+        assert simplify(sym_lt(x, 11)) == 1
+        assert simplify(sym_gt(x, 10)) == 0
+        assert simplify(sym_eq(x, 99)) == 0
+
+
+class TestPathCondition:
+    def test_add_and_satisfaction(self):
+        x = SymVar("x", 0, 10)
+        pc = PathCondition()
+        assert pc.add(sym_ge(x, 3))
+        assert pc.add(1)  # trivially true constraints are dropped
+        assert len(pc) == 1
+        assert pc.satisfied_by({"x": 5})
+        assert not pc.satisfied_by({"x": 1})
+
+    def test_trivially_false_constraint(self):
+        pc = PathCondition()
+        assert not pc.add(0)
+
+    def test_clone_is_independent(self):
+        x = SymVar("x", 0, 10)
+        pc = PathCondition([sym_ge(x, 3)])
+        clone = pc.clone()
+        clone.add(sym_le(x, 4))
+        assert len(pc) == 1
+        assert len(clone) == 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    lo=st.integers(min_value=0, max_value=20),
+    span=st.integers(min_value=0, max_value=20),
+    target=st.integers(min_value=0, max_value=40),
+)
+def test_solver_model_always_satisfies_constraints(lo, span, target):
+    """Any model the solver returns satisfies the constraints it was given."""
+    solver = Solver(max_assignments=10_000)
+    x = SymVar("x", lo, lo + span)
+    constraints = [sym_ge(x, target // 2), sym_le(x, target)]
+    model = solver.get_model(constraints)
+    if model is not None:
+        pc = PathCondition(constraints)
+        assert pc.satisfied_by(model)
+    else:
+        # The solver said UNSAT/UNKNOWN; verify exhaustively that no value works.
+        assert all(
+            not PathCondition(constraints).satisfied_by({"x": candidate})
+            for candidate in range(lo, lo + span + 1)
+        )
