@@ -1,0 +1,83 @@
+"""Benchmark: serial vs parallel batch classification with the AnalysisEngine.
+
+Runs the whole Table 1 workload list through the engine twice -- once
+serially, once over a process pool -- verifies the classifications are
+bit-identical, and reports both wall-clock times.  The speedup assertion is
+gated on the host actually having more than one CPU: on a single core the
+pool only adds process-management overhead, which is exactly what the
+serial fallback exists for.
+"""
+
+import os
+import time
+
+from repro.engine import AnalysisEngine, EngineOptions
+from repro.workloads import all_workload_names
+
+WORKERS = min(4, os.cpu_count() or 1)
+
+
+def _signature(runs):
+    return [
+        (
+            run.workload.name,
+            item.race.race_id,
+            item.classification.value,
+            item.k,
+            item.paths_explored,
+            item.schedules_explored,
+            item.stage,
+        )
+        for run in runs
+        for item in run.result.classified
+    ]
+
+
+def run_comparison(names=None):
+    names = list(names) if names is not None else all_workload_names()
+
+    started = time.perf_counter()
+    serial_runs = AnalysisEngine().analyze(names)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel_runs = AnalysisEngine(
+        options=EngineOptions(parallel=WORKERS)
+    ).analyze(names)
+    parallel_seconds = time.perf_counter() - started
+
+    return serial_runs, serial_seconds, parallel_runs, parallel_seconds
+
+
+def render(serial_runs, serial_seconds, parallel_runs, parallel_seconds):
+    races = sum(len(run.result.classified) for run in serial_runs)
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    lines = [
+        "Engine benchmark: serial vs parallel batch classification",
+        f"{'workloads':<22} {len(serial_runs)}",
+        f"{'distinct races':<22} {races}",
+        f"{'worker processes':<22} {WORKERS} (host cpus: {os.cpu_count()})",
+        f"{'serial wall-clock':<22} {serial_seconds:.2f}s",
+        f"{'parallel wall-clock':<22} {parallel_seconds:.2f}s",
+        f"{'speedup':<22} {speedup:.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+def test_engine_serial_vs_parallel(benchmark, once):
+    serial_runs, serial_seconds, parallel_runs, parallel_seconds = once(
+        benchmark, run_comparison
+    )
+    print()
+    print(render(serial_runs, serial_seconds, parallel_runs, parallel_seconds))
+
+    assert _signature(serial_runs) == _signature(parallel_runs)
+    assert sum(run.result.distinct_races() for run in serial_runs) == 93
+    if (os.cpu_count() or 1) > 1 and WORKERS > 1:
+        # Real parallel hardware must beat the serial pipeline on a
+        # multi-race batch (93 independent classification tasks).
+        assert parallel_seconds < serial_seconds
+
+
+if __name__ == "__main__":
+    print(render(*run_comparison()))

@@ -46,5 +46,24 @@ def main():
         print("-" * 60)
 
 
+def batch_engine_demo():
+    """Analyze several paper workloads as one parallel batch (docs/engine.md).
+
+    The engine records one trace per workload (reusing the on-disk cache on
+    the next run) and classifies all races over a process pool; per-race RNG
+    seeding makes the results bit-identical to the serial path.
+    """
+    from repro.engine import AnalysisEngine, EngineOptions
+
+    engine = AnalysisEngine(
+        options=EngineOptions(parallel=2, cache_dir=".portend-cache")
+    )
+    for run in engine.analyze(["bbuf", "RW", "DCL"]):
+        cached = "cached trace" if run.trace_cached else "fresh trace"
+        print(f"[{cached}] {run.result.summary()}")
+
+
 if __name__ == "__main__":
     main()
+    print("=" * 60)
+    batch_engine_demo()

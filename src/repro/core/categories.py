@@ -64,6 +64,36 @@ class ClassificationEvidence:
     post_race_states_differ: Optional[bool] = None
     notes: List[str] = field(default_factory=list)
 
+    # ---------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict:
+        return {
+            "spec_violation_kind": (
+                self.spec_violation_kind.value if self.spec_violation_kind else None
+            ),
+            "crash_description": self.crash_description,
+            "failing_inputs": dict(self.failing_inputs),
+            "failing_schedule": list(self.failing_schedule),
+            "output_difference": [list(pair) for pair in self.output_difference],
+            "alternate_enforced": self.alternate_enforced,
+            "post_race_states_differ": self.post_race_states_differ,
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ClassificationEvidence":
+        kind = data["spec_violation_kind"]
+        return cls(
+            spec_violation_kind=SpecViolationKind(kind) if kind else None,
+            crash_description=data["crash_description"],
+            failing_inputs=dict(data["failing_inputs"]),
+            failing_schedule=list(data["failing_schedule"]),
+            output_difference=[(first, second) for first, second in data["output_difference"]],
+            alternate_enforced=data["alternate_enforced"],
+            post_race_states_differ=data["post_race_states_differ"],
+            notes=list(data["notes"]),
+        )
+
 
 @dataclass
 class ClassifiedRace:
@@ -87,4 +117,33 @@ class ClassifiedRace:
         return (
             f"race #{self.race.race_id} on {self.race.location.describe()}: "
             f"{self.classification.value} (k={self.k}, stage={self.stage})"
+        )
+
+    # ---------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict:
+        return {
+            "race": self.race.to_dict(),
+            "classification": self.classification.value,
+            "k": self.k,
+            "paths_explored": self.paths_explored,
+            "schedules_explored": self.schedules_explored,
+            "analysis_seconds": self.analysis_seconds,
+            "analysis_steps": self.analysis_steps,
+            "evidence": self.evidence.to_dict(),
+            "stage": self.stage,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ClassifiedRace":
+        return cls(
+            race=RaceReport.from_dict(data["race"]),
+            classification=RaceClass(data["classification"]),
+            k=data["k"],
+            paths_explored=data["paths_explored"],
+            schedules_explored=data["schedules_explored"],
+            analysis_seconds=data["analysis_seconds"],
+            analysis_steps=data["analysis_steps"],
+            evidence=ClassificationEvidence.from_dict(data["evidence"]),
+            stage=data["stage"],
         )

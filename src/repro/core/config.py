@@ -10,7 +10,7 @@ detection", "+ multi-path", "+ multi-schedule") can be regenerated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Optional, Sequence, Tuple
 
 
@@ -58,6 +58,27 @@ class PortendConfig:
 
     def effective_ma(self) -> int:
         return self.ma if self.enable_multi_schedule else 1
+
+    def race_seed(self, race_id: int, path_index: int = 0) -> int:
+        """Deterministic RNG base seed for one race's alternate schedules.
+
+        Every random decision of the analysis derives from ``seed`` and the
+        race id (plus the primary-path index), never from global RNG state or
+        the order in which races are classified.  This is what makes the
+        parallel engine bit-identical to the serial path: each (race, path)
+        pair owns its seed regardless of which worker classifies it.
+        """
+        return self.seed * 1_000_003 + (race_id * 131 + path_index) * 101
+
+    # ---------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PortendConfig":
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
 
     # ------------------------------------------------------------- factories
 

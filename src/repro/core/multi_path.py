@@ -41,6 +41,8 @@ class MultiPathResult:
     witnesses: int
     states_pruned: int = 0
     dependent_branches: int = 0
+    #: why each pruned primary path was discarded (§3.3 diagnostics)
+    prune_reasons: List[str] = field(default_factory=list)
 
 
 def classify_multipath(
@@ -90,6 +92,7 @@ def classify_multipath(
                 witnesses,
                 explorer.states_pruned,
                 dependent_branches,
+                explorer.prune_reasons,
             )
 
         same_inputs = path.concrete_inputs == dict(trace.concrete_inputs)
@@ -119,6 +122,7 @@ def classify_multipath(
                 witnesses,
                 explorer.states_pruned,
                 dependent_branches,
+                explorer.prune_reasons,
             )
         if not primary_replay.reached_race:
             continue
@@ -128,7 +132,7 @@ def classify_multipath(
             config.max_steps_per_execution,
         )
         policies = alternate_schedule_policies(
-            schedules_per_primary, config.seed, race.race_id * 131 + path.index
+            schedules_per_primary, config.race_seed(race.race_id, path.index)
         )
         for policy in policies:
             schedules_explored += 1
@@ -163,6 +167,7 @@ def classify_multipath(
                         witnesses,
                         explorer.states_pruned,
                         dependent_branches,
+                        explorer.prune_reasons,
                     )
                 # Ad-hoc synchronisation on this path; it contributes no
                 # witness but is not evidence of harm either.
@@ -186,6 +191,7 @@ def classify_multipath(
                     witnesses,
                     explorer.states_pruned,
                     dependent_branches,
+                    explorer.prune_reasons,
                 )
 
             if config.symbolic_output_comparison:
@@ -216,6 +222,7 @@ def classify_multipath(
             witnesses,
             explorer.states_pruned,
             dependent_branches,
+            explorer.prune_reasons,
         )
     return MultiPathResult(
         RaceClass.K_WITNESS_HARMLESS,
@@ -225,4 +232,5 @@ def classify_multipath(
         witnesses,
         explorer.states_pruned,
         dependent_branches,
+        explorer.prune_reasons,
     )

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.runtime.state import OutputRecord
-from repro.symex.expr import Value, is_symbolic, render
+from repro.symex.expr import ExprError, Value, is_symbolic, render, substitute
 from repro.symex.path_condition import PathCondition
 from repro.symex.solver import Solver
 
@@ -96,6 +96,24 @@ def _value_matches(
     return solver.check_value(constraints, primary_value, int(alternate_value))
 
 
+def _concrete_values_equal(primary_value: Value, alternate_value: Value) -> bool:
+    """Numeric equality of two output values, mirroring ``_value_matches``.
+
+    Comparing by ``repr`` wrongly flags numerically equal values of
+    different types (``1`` vs ``True``) or unsimplified constant expressions
+    as output differences.  Constant-fold both sides first; only genuinely
+    symbolic residues fall back to structural comparison.
+    """
+    try:
+        primary_value = substitute(primary_value, {})
+        alternate_value = substitute(alternate_value, {})
+    except ExprError:
+        return repr(primary_value) == repr(alternate_value)
+    if not is_symbolic(primary_value) and not is_symbolic(alternate_value):
+        return int(primary_value) == int(alternate_value)
+    return repr(primary_value) == repr(alternate_value)
+
+
 def compare_concrete(
     primary_outputs: Sequence[OutputRecord],
     alternate_outputs: Sequence[OutputRecord],
@@ -114,7 +132,10 @@ def compare_concrete(
         if (
             primary.channel != alternate.channel
             or len(primary.values) != len(alternate.values)
-            or any(repr(p) != repr(a) for p, a in zip(primary.values, alternate.values))
+            or any(
+                not _concrete_values_equal(p, a)
+                for p, a in zip(primary.values, alternate.values)
+            )
         ):
             differences.append((_describe(primary), _describe(alternate)))
     return OutputComparison(not differences, differences)

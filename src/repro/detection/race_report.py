@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.runtime.listeners import MemoryAccess
 from repro.runtime.memory import MemoryLocation
+from repro.runtime.threadstate import StackEntry
 
 
 @dataclass(frozen=True)
@@ -47,8 +48,62 @@ class AccessInfo:
     def kind(self) -> str:
         return "WRITE" if self.is_write else "READ"
 
+    def thread_identity(self) -> str:
+        """Stable identity of the accessing thread for clustering purposes.
+
+        §4 clusters races made "by the same threads"; raw dynamic tids are the
+        wrong notion of thread identity in a model with symmetric worker
+        pools (every pairwise race between N identical workers would become
+        its own distinct race), so the thread is identified by its role: the
+        entry function at the bottom of the recorded stack trace.  Accesses
+        recorded without a stack fall back to the dynamic tid.
+        """
+        if self.stack:
+            return self.stack[0].function
+        return f"tid:{self.tid}"
+
+    def cluster_signature(self) -> Tuple:
+        """Hashable, orderable signature of this access for clustering."""
+        return (
+            self.pc,
+            self.thread_identity(),
+            tuple((entry.function, entry.label) for entry in self.stack),
+        )
+
     def describe(self) -> str:
         return f"{self.kind} of {self.location.describe()} by T{self.tid} at {self.label or self.pc}"
+
+    # ---------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict:
+        return {
+            "tid": self.tid,
+            "pc": self.pc,
+            "label": self.label,
+            "is_write": self.is_write,
+            "location": {
+                "space": self.location.space,
+                "name": self.location.name,
+                "index": self.location.index,
+            },
+            "step": self.step,
+            "stack": [[entry.function, entry.label] for entry in self.stack],
+            "locks_held": list(self.locks_held),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "AccessInfo":
+        location = data["location"]
+        return cls(
+            tid=data["tid"],
+            pc=data["pc"],
+            label=data["label"],
+            is_write=data["is_write"],
+            location=MemoryLocation(location["space"], location["name"], location["index"]),
+            step=data["step"],
+            stack=tuple(StackEntry(function, label) for function, label in data["stack"]),
+            locks_held=tuple(data["locks_held"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -71,9 +126,29 @@ class RaceInstance:
         return (self.location.space, self.location.name)
 
     def distinct_key(self) -> Tuple:
-        """Key identifying the *distinct race* this instance belongs to."""
-        pcs = tuple(sorted((self.first.pc, self.second.pc)))
-        return (self.location.space, self.location.name, pcs)
+        """Key identifying the *distinct race* this instance belongs to.
+
+        §4: the clustering criterion is "whether the racing accesses are made
+        to the same shared memory location by the same threads, and the stack
+        traces of the accesses are the same".  The key therefore covers the
+        location, the program counters, the thread identities and the full
+        stack traces of both accesses (the two access signatures are sorted
+        so the key does not depend on which access was observed first).
+        """
+        signatures = tuple(
+            sorted((self.first.cluster_signature(), self.second.cluster_signature()))
+        )
+        return (self.location.space, self.location.name, signatures)
+
+    def to_dict(self) -> Dict:
+        return {"first": self.first.to_dict(), "second": self.second.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RaceInstance":
+        return cls(
+            first=AccessInfo.from_dict(data["first"]),
+            second=AccessInfo.from_dict(data["second"]),
+        )
 
 
 @dataclass
@@ -114,6 +189,27 @@ class RaceReport:
             f"observed instances: {self.instance_count}",
         ]
         return "\n".join(lines)
+
+    # ---------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict:
+        return {
+            "race_id": self.race_id,
+            "program": self.program,
+            "first": self.first.to_dict(),
+            "second": self.second.to_dict(),
+            "instances": [instance.to_dict() for instance in self.instances],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RaceReport":
+        return cls(
+            race_id=data["race_id"],
+            program=data["program"],
+            first=AccessInfo.from_dict(data["first"]),
+            second=AccessInfo.from_dict(data["second"]),
+            instances=[RaceInstance.from_dict(item) for item in data["instances"]],
+        )
 
 
 def cluster_races(

@@ -1,0 +1,29 @@
+"""Parallel batch analysis engine (work queue + process pool + trace cache).
+
+* :mod:`repro.engine.engine` -- :class:`AnalysisEngine`, the batched
+  detect→classify pipeline with a ``concurrent.futures`` process pool and a
+  serial fallback,
+* :mod:`repro.engine.tasks` -- the ``(workload, race)`` work items and the
+  picklable worker entry points,
+* :mod:`repro.engine.cache` -- the on-disk trace cache keyed by
+  ``(program, inputs, config)``.
+"""
+
+from repro.engine.cache import TraceCache
+from repro.engine.engine import (
+    AnalysisEngine,
+    EngineOptions,
+    EngineRun,
+    classify_races_parallel,
+)
+from repro.engine.tasks import ClassificationTask, execute_task
+
+__all__ = [
+    "AnalysisEngine",
+    "EngineOptions",
+    "EngineRun",
+    "TraceCache",
+    "ClassificationTask",
+    "classify_races_parallel",
+    "execute_task",
+]

@@ -1,0 +1,172 @@
+"""On-disk trace cache: skip re-recording executions already seen.
+
+Recording is the front half of the pipeline cost; for a fixed
+``(program, inputs, config)`` triple the recorded trace is deterministic, so
+it can be reused across engine runs (and across processes -- the cache
+stores the JSON wire format of :meth:`ExecutionTrace.to_dict`).
+
+Only the configuration knobs that influence *recording* take part in the
+cache key (classification knobs like Mp/Ma/seed do not invalidate a
+recording).  A format version is mixed into the key so stale cache entries
+from older trace layouts are simply missed, never mis-parsed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.core.config import PortendConfig
+from repro.record_replay.trace import ExecutionTrace
+
+#: bump when the serialized trace layout changes incompatibly
+TRACE_FORMAT_VERSION = 1
+
+
+def _canonical(obj):
+    """Recursively reduce an object graph to a process-independent form.
+
+    Two sources of instability need canonicalizing when fingerprinting a
+    program: ``Stmt.uid`` comes from a process-global counter (rebuilds of
+    the same program differ), and set/frozenset iteration order follows
+    per-process string-hash randomization (and can leak into the insertion
+    order of derived dicts).  Statements reduce to (type, slot values)
+    without ``uid``; sets and dict items are sorted; everything else
+    bottoms out in primitives or a deterministic repr.
+    """
+    import dataclasses
+
+    from repro.lang.ast import Stmt
+
+    if isinstance(obj, Stmt):
+        slots = [
+            slot
+            for klass in type(obj).__mro__
+            for slot in getattr(klass, "__slots__", ())
+            if slot != "uid"
+        ]
+        return (
+            type(obj).__name__,
+            tuple((slot, _canonical(getattr(obj, slot))) for slot in slots),
+        )
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            type(obj).__name__,
+            tuple(
+                (f.name, _canonical(getattr(obj, f.name)))
+                for f in dataclasses.fields(obj)
+            ),
+        )
+    if isinstance(obj, (list, tuple)):
+        return tuple(_canonical(item) for item in obj)
+    if isinstance(obj, (set, frozenset)):
+        return tuple(sorted((_canonical(item) for item in obj), key=repr))
+    if isinstance(obj, dict):
+        return tuple(
+            sorted(
+                ((_canonical(k), _canonical(v)) for k, v in obj.items()), key=repr
+            )
+        )
+    if isinstance(obj, (bool, int, float, str, bytes, type(None))):
+        return obj
+    return repr(obj)
+
+
+class TraceCache:
+    """Directory-backed cache of recorded execution traces."""
+
+    def __init__(self, cache_dir) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.hits = 0
+        self.misses = 0
+
+    # -------------------------------------------------------------------- key
+
+    @staticmethod
+    def program_fingerprint(program) -> str:
+        """Content hash of a :class:`Program`.
+
+        Two workloads can share a name but differ in code (what-if variants
+        like ``build_memcached(remove_slab_lock=True)``), so the cache key
+        must cover the program *content*, not just its name.  The hash is
+        taken over the :func:`_canonical` reduction of the program's
+        attributes, which is stable across rebuilds and across processes
+        (see its docstring for what needs canonicalizing and why).
+        """
+        canonical = _canonical(dict(vars(program)))
+        return hashlib.sha256(repr(canonical).encode("utf-8")).hexdigest()
+
+    @staticmethod
+    def key(
+        program: str,
+        inputs: Dict[str, int],
+        config: PortendConfig,
+        program_fingerprint: str = "",
+    ) -> str:
+        """Stable fingerprint of one recording: (program, inputs, config)."""
+        fingerprint = {
+            "version": TRACE_FORMAT_VERSION,
+            "program": program,
+            "program_fingerprint": program_fingerprint,
+            "inputs": sorted(inputs.items()),
+            "max_steps_per_execution": config.max_steps_per_execution,
+        }
+        digest = hashlib.sha256(
+            json.dumps(fingerprint, sort_keys=True).encode("utf-8")
+        )
+        return digest.hexdigest()
+
+    def _path(self, program: str, key: str) -> Path:
+        safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in program)
+        return self.cache_dir / f"{safe}-{key[:16]}.json"
+
+    # -------------------------------------------------------------- load/store
+
+    def load(
+        self,
+        program: str,
+        inputs: Dict[str, int],
+        config: PortendConfig,
+        program_fingerprint: str = "",
+    ) -> Optional[ExecutionTrace]:
+        """Return the cached trace, or None on a miss or a corrupt entry."""
+        key = self.key(program, inputs, config, program_fingerprint)
+        path = self._path(program, key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("key") != key:
+                raise ValueError("cache key mismatch")
+            trace = ExecutionTrace.from_dict(entry["trace"])
+        except Exception:  # noqa: BLE001 - any unreadable entry is a miss
+            # Corrupt, stale, or hand-edited entries must never crash the
+            # run; the engine simply re-records (and overwrites the entry).
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def store(
+        self,
+        program: str,
+        inputs: Dict[str, int],
+        config: PortendConfig,
+        trace: ExecutionTrace,
+        program_fingerprint: str = "",
+    ) -> Path:
+        """Persist a recorded trace; returns the cache file path."""
+        key = self.key(program, inputs, config, program_fingerprint)
+        path = self._path(program, key)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"key": key, "trace": trace.to_dict()})
+        # Unique tmp name per writer: concurrent engine runs may share a
+        # cache dir, and os.replace makes the final publish atomic
+        # (last-writer-wins, both writers produce identical content).
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+        return path

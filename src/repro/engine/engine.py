@@ -1,0 +1,228 @@
+"""The batch analysis engine: parallel detect→classify over many workloads.
+
+Portend's cost is dominated by per-race alternate-schedule exploration
+(§3.3-§3.4), but races are embarrassingly parallel: given the recorded
+trace, each race's classification is independent of every other race's.
+The engine exploits this by
+
+1. recording (or loading from the :class:`repro.engine.cache.TraceCache`)
+   one execution trace per workload,
+2. expanding the batch into a work queue of ``(workload, race)``
+   :class:`repro.engine.tasks.ClassificationTask` items, and
+3. dispatching the queue over a ``concurrent.futures`` process pool
+   (serial in-process execution is both the fallback and the ``parallel<=1``
+   mode -- the identical task code runs either way).
+
+Determinism: every random decision during classification derives from
+``PortendConfig.race_seed(race_id, path_index)``, so the parallel engine
+produces classifications bit-identical to the serial path regardless of
+worker count or completion order.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.categories import ClassifiedRace
+from repro.core.config import PortendConfig
+from repro.engine.cache import TraceCache
+from repro.engine.tasks import ClassificationTask, execute_program_task, execute_task
+from repro.record_replay.trace import ExecutionTrace
+from repro.workloads import Workload, all_workloads, load_workload
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Batch-level knobs, orthogonal to the per-race :class:`PortendConfig`."""
+
+    #: worker processes for the classification queue; 0 or 1 means serial
+    parallel: int = 0
+    #: directory for the on-disk trace cache; None disables caching
+    cache_dir: Optional[str] = None
+    #: also enable each workload's "what-if" semantic predicates
+    use_semantic_predicates: bool = False
+
+
+@dataclass
+class EngineRun:
+    """The engine's output for one workload of the batch."""
+
+    workload: Workload
+    result: "PortendResult"
+    trace_cached: bool = False
+
+
+class AnalysisEngine:
+    """Batches and parallelizes the whole detect→classify pipeline."""
+
+    def __init__(
+        self,
+        config: Optional[PortendConfig] = None,
+        options: Optional[EngineOptions] = None,
+    ) -> None:
+        self.config = config or PortendConfig()
+        self.options = options or EngineOptions()
+        self.cache = TraceCache(self.options.cache_dir) if self.options.cache_dir else None
+
+    # --------------------------------------------------------------- recording
+
+    def record_trace(self, workload: Workload) -> Tuple[ExecutionTrace, float, bool]:
+        """Record (or load from cache) one execution trace.
+
+        Returns ``(trace, detection_seconds, was_cached)``.
+        """
+        from repro.core.portend import Portend
+
+        fingerprint = ""
+        if self.cache is not None:
+            fingerprint = self.cache.program_fingerprint(workload.program)
+            cached = self.cache.load(
+                workload.name, workload.inputs, self.config, fingerprint
+            )
+            if cached is not None:
+                return cached, 0.0, True
+        portend = Portend(
+            workload.program, config=self.config, predicates=list(workload.predicates)
+        )
+        started = time.perf_counter()
+        trace = portend.record(workload.inputs)
+        detection_seconds = time.perf_counter() - started
+        if self.cache is not None:
+            self.cache.store(
+                workload.name, workload.inputs, self.config, trace, fingerprint
+            )
+        return trace, detection_seconds, False
+
+    # ---------------------------------------------------------------- pipeline
+
+    def analyze(
+        self,
+        names: Optional[Sequence[str]] = None,
+        include_micro: bool = True,
+    ) -> List[EngineRun]:
+        """Run the batched pipeline over named workloads (default: Table 1)."""
+        if names is None:
+            workloads = all_workloads(include_micro=include_micro)
+        else:
+            workloads = [load_workload(name) for name in names]
+        return self.analyze_workloads(workloads)
+
+    def analyze_workloads(self, workloads: Sequence[Workload]) -> List[EngineRun]:
+        """Record every workload, then classify all races as one work queue."""
+        from repro.core.portend import PortendResult
+
+        recordings: List[Tuple[Workload, ExecutionTrace, float, bool]] = []
+        payloads: List[Dict] = []
+        config_data = self.config.to_dict()
+        for workload in workloads:
+            trace, detection_seconds, was_cached = self.record_trace(workload)
+            recordings.append((workload, trace, detection_seconds, was_cached))
+            trace_data = trace.to_dict()
+            predicates = list(workload.predicates)
+            if self.options.use_semantic_predicates:
+                predicates += list(workload.semantic_predicates)
+            for race in trace.races:
+                payloads.append(
+                    ClassificationTask(
+                        workload=workload.name,
+                        race_id=race.race_id,
+                        trace=trace_data,
+                        config=config_data,
+                        use_semantic_predicates=self.options.use_semantic_predicates,
+                        # Attach the actual program: the batch may contain
+                        # what-if variants that differ from the registry build.
+                        program=workload.program,
+                        predicates=tuple(predicates),
+                    ).to_payload()
+                )
+
+        classified = iter(self._dispatch(payloads))
+
+        # Task results come back in queue order, which interleaves nothing:
+        # payloads were appended workload-by-workload, race-by-race.
+        runs: List[EngineRun] = []
+        for workload, trace, detection_seconds, was_cached in recordings:
+            result = PortendResult(program=trace.program, trace=trace)
+            result.detection_seconds = detection_seconds
+            for _race in trace.races:
+                result.classified.append(ClassifiedRace.from_dict(next(classified)))
+            result.classification_seconds = sum(
+                item.analysis_seconds for item in result.classified
+            )
+            runs.append(EngineRun(workload=workload, result=result, trace_cached=was_cached))
+        return runs
+
+    # ---------------------------------------------------------------- dispatch
+
+    def _dispatch(self, payloads: Sequence[Dict]) -> List[Dict]:
+        """Run the work queue, in a process pool or serially in-process."""
+        workers = self.options.parallel
+        # Probe one payload per workload for picklability: payloads of the
+        # same workload share their program/predicates/trace objects, so one
+        # representative suffices (a custom predicate closure would fail).
+        representatives = list({p["workload"]: p for p in payloads}.values())
+        if (
+            workers
+            and workers > 1
+            and len(payloads) > 1
+            and all(_picklable(p) for p in representatives)
+        ):
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    chunk = max(1, len(payloads) // (workers * 4))
+                    return list(pool.map(execute_task, payloads, chunksize=chunk))
+            except (BrokenProcessPool, OSError):
+                # Pool unavailable (restricted environment, spawn failure):
+                # fall back to the serial path, which runs the same task code.
+                # Genuine classification errors re-raise; they are not caught.
+                pass
+        return [execute_task(payload) for payload in payloads]
+
+
+def classify_races_parallel(
+    program,
+    trace: ExecutionTrace,
+    races: Sequence,
+    config: PortendConfig,
+    predicates: Sequence = (),
+    workers: int = 2,
+) -> List[ClassifiedRace]:
+    """Classify the races of one (possibly unregistered) program in parallel.
+
+    Backs ``Portend.classify_trace(parallel=N)``: the program and predicates
+    ship to the workers by pickle, the trace as its JSON wire format.  Falls
+    back to serial in-process execution when the pool cannot be used (e.g.
+    predicates that do not pickle).
+    """
+    trace_data = trace.to_dict()
+    config_data = config.to_dict()
+    arguments = [
+        (program, trace_data, race.race_id, config_data, list(predicates))
+        for race in races
+    ]
+    if workers and workers > 1 and len(arguments) > 1 and _picklable(program, predicates):
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(execute_program_task, *args) for args in arguments]
+                return [ClassifiedRace.from_dict(f.result()) for f in futures]
+        except (BrokenProcessPool, OSError):
+            # Pool unavailable (restricted environment, spawn failure) --
+            # genuine classification errors re-raise, they are not caught.
+            pass
+    return [
+        ClassifiedRace.from_dict(execute_program_task(*args)) for args in arguments
+    ]
+
+
+def _picklable(*objects) -> bool:
+    """Whether the payload can ship to a worker (e.g. lambda predicates can't)."""
+    try:
+        pickle.dumps(objects)
+    except Exception:  # noqa: BLE001 - any pickling failure means serial
+        return False
+    return True

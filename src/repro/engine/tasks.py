@@ -1,0 +1,124 @@
+"""Work items for the parallel analysis engine.
+
+A :class:`ClassificationTask` is one ``(workload, race)`` unit of the
+detect→classify pipeline.  Task payloads are plain dicts whose leaves are
+JSON-serializable (the trace crosses the process boundary through
+``ExecutionTrace.to_dict``), so they pickle cheaply into
+``concurrent.futures`` worker processes and could equally be shipped over a
+network queue.
+
+Two worker entry points exist:
+
+* :func:`execute_task` rebuilds the workload from the registry by name --
+  the normal batch path, fully JSON-clean;
+* :func:`execute_program_task` receives a pickled :class:`Program` (plus
+  predicates) directly -- used by ``Portend.classify_trace(parallel=N)`` for
+  programs that are not registered workloads.
+
+Both return the classified race as a ``ClassifiedRace.to_dict()`` payload.
+Classification is deterministic per race (see
+:meth:`repro.core.config.PortendConfig.race_seed`), so the same task always
+produces the same classification no matter which process runs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.core.config import PortendConfig
+from repro.record_replay.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class ClassificationTask:
+    """One (workload, race) classification work item.
+
+    ``program``/``predicates`` travel by pickle, not JSON.  The engine's
+    batch path always attaches them (correctness first: the batch may
+    contain what-if variants like ``build_memcached(remove_slab_lock=True)``
+    whose program differs from the registry rebuild under the same name).
+    When absent, the worker rebuilds the workload from the registry by
+    name, which keeps the payload fully JSON-clean -- the variant a
+    network-queue transport would use.
+    """
+
+    workload: str
+    race_id: int
+    trace: Dict
+    config: Dict
+    use_semantic_predicates: bool = False
+    program: Optional[object] = None
+    predicates: Optional[tuple] = None
+
+    def to_payload(self) -> Dict:
+        payload = {
+            "workload": self.workload,
+            "race_id": self.race_id,
+            "trace": self.trace,
+            "config": self.config,
+            "use_semantic_predicates": self.use_semantic_predicates,
+        }
+        if self.program is not None:
+            payload["program"] = self.program
+            payload["predicates"] = list(self.predicates or ())
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "ClassificationTask":
+        predicates = payload.get("predicates")
+        return cls(
+            workload=payload["workload"],
+            race_id=payload["race_id"],
+            trace=payload["trace"],
+            config=payload["config"],
+            use_semantic_predicates=payload.get("use_semantic_predicates", False),
+            program=payload.get("program"),
+            predicates=tuple(predicates) if predicates is not None else None,
+        )
+
+
+def execute_task(payload: Mapping) -> Dict:
+    """Classify one race of a workload (worker entry point).
+
+    Module-level so :class:`concurrent.futures.ProcessPoolExecutor` can
+    pickle it.  The worker uses the program attached to the payload when
+    present, and otherwise rebuilds the workload from the registry (model
+    programs assign pcs deterministically, so the rebuilt program matches
+    the trace recorded in the parent process).
+    """
+    from repro.core.portend import Portend
+    from repro.workloads import load_workload
+
+    task = ClassificationTask.from_payload(payload)
+    if task.program is not None:
+        program = task.program
+        predicates = list(task.predicates or ())
+    else:
+        workload = load_workload(task.workload)
+        program = workload.program
+        predicates = list(workload.predicates)
+        if task.use_semantic_predicates:
+            predicates += list(workload.semantic_predicates)
+    config = PortendConfig.from_dict(task.config)
+    trace = ExecutionTrace.from_dict(task.trace)
+    portend = Portend(program, config=config, predicates=predicates)
+    race = trace.race_by_id(task.race_id)
+    return portend.classify_race(trace, race).to_dict()
+
+
+def execute_program_task(
+    program,
+    trace_data: Mapping,
+    race_id: int,
+    config_data: Mapping,
+    predicates: Sequence = (),
+) -> Dict:
+    """Classify one race of an arbitrary (pickled) program."""
+    from repro.core.portend import Portend
+
+    config = PortendConfig.from_dict(dict(config_data))
+    trace = ExecutionTrace.from_dict(dict(trace_data))
+    portend = Portend(program, config=config, predicates=predicates)
+    race = trace.race_by_id(race_id)
+    return portend.classify_race(trace, race).to_dict()

@@ -1,4 +1,13 @@
-"""Command-line entry point: ``python -m repro.experiments <experiment>``."""
+"""Command-line entry point: ``python -m repro.experiments <experiment>``.
+
+The shared-run experiments (table3/table4/table5/fig9) all consume one
+default-configuration analysis of the workload list; the driver computes
+those runs once through the :class:`repro.engine.AnalysisEngine` -- honoring
+``--parallel``, ``--cache-dir`` and ``--workloads`` -- and hands them to
+every requested experiment.  The ablation experiments (table2, fig7, fig10)
+sweep their own configurations but still honor ``--parallel`` and
+``--cache-dir`` for each per-config analysis.
+"""
 
 from __future__ import annotations
 
@@ -18,6 +27,13 @@ _EXPERIMENTS = {
     "fig10": (fig10, {}),
 }
 
+#: experiments whose run() accepts precomputed default-config runs
+_RUNS_CAPABLE = {"table3", "table4", "table5", "fig9"}
+
+#: ablation experiments that analyze with their own configs but still accept
+#: the engine's parallel/cache flags per analysis
+_ENGINE_FLAG_CAPABLE = {"table2", "fig7", "fig10"}
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -29,12 +45,56 @@ def main(argv=None) -> int:
         choices=sorted(_EXPERIMENTS) + ["all"],
         help="which table/figure to regenerate",
     )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        metavar="N",
+        help="classify races over N worker processes (0/1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache recorded execution traces in DIR and reuse them",
+    )
+    parser.add_argument(
+        "--workloads",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated workload subset for the shared-run experiments "
+        "(table3/table4/table5/fig9); default: the full Table 1 list",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    shared_runs = None
+    if any(name in _RUNS_CAPABLE for name in names):
+        from repro.experiments.runner import analyze_all
+
+        workload_names = (
+            [item.strip() for item in args.workloads.split(",") if item.strip()]
+            if args.workloads
+            else None
+        )
+        shared_runs = analyze_all(
+            names=workload_names,
+            measure_plain_time="table4" in names,
+            parallel=args.parallel,
+            cache_dir=args.cache_dir,
+        )
+
     for name in names:
         module, kwargs = _EXPERIMENTS[name]
-        result = module.run(**kwargs)
+        if name in _RUNS_CAPABLE and shared_runs is not None:
+            result = module.run(runs=shared_runs, **kwargs)
+        elif name in _ENGINE_FLAG_CAPABLE:
+            result = module.run(
+                parallel=args.parallel, cache_dir=args.cache_dir, **kwargs
+            )
+        else:
+            result = module.run(**kwargs)
         print(module.render(result))
         print()
     return 0

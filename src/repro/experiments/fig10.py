@@ -24,6 +24,8 @@ def run(
     k_values: Sequence[int] = DEFAULT_K_VALUES,
     programs: Sequence[str] = PROGRAMS,
     base_config: Optional[PortendConfig] = None,
+    parallel: int = 0,
+    cache_dir: Optional[str] = None,
 ) -> Fig10Result:
     base = base_config or PortendConfig()
     result = Fig10Result()
@@ -32,7 +34,9 @@ def run(
         for k in k_values:
             workload = load_workload(name)
             config = base.with_k(k)
-            run_ = analyze_workload(workload, config=config)
+            run_ = analyze_workload(
+                workload, config=config, parallel=parallel, cache_dir=cache_dir
+            )
             score = score_workload(workload, run_.result.classified)
             result.accuracy[name][k] = score.accuracy
     return result

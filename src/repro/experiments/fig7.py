@@ -37,6 +37,8 @@ def _configs(base: PortendConfig) -> Dict[str, PortendConfig]:
 def run(
     base_config: Optional[PortendConfig] = None,
     programs: Sequence[str] = PROGRAMS,
+    parallel: int = 0,
+    cache_dir: Optional[str] = None,
 ) -> Fig7Result:
     base = base_config or PortendConfig()
     result = Fig7Result()
@@ -44,7 +46,9 @@ def run(
         result.accuracy[name] = {}
         for technique, config in _configs(base).items():
             workload = load_workload(name)
-            run_ = analyze_workload(workload, config=config)
+            run_ = analyze_workload(
+                workload, config=config, parallel=parallel, cache_dir=cache_dir
+            )
             score = score_workload(workload, run_.result.classified)
             result.accuracy[name][technique] = score.accuracy
     return result

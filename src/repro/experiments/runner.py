@@ -1,4 +1,10 @@
-"""Shared experiment driver: run Portend over workloads and keep the results."""
+"""Shared experiment driver: run Portend over workloads and keep the results.
+
+The driver is a thin wrapper over :class:`repro.engine.AnalysisEngine`: it
+builds the engine for the requested batch (optionally parallel, optionally
+trace-cached) and repackages the engine's per-workload results into
+:class:`WorkloadRun` records that the table/figure modules consume.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import PortendConfig
 from repro.core.portend import Portend, PortendResult
-from repro.record_replay.recorder import record_execution
+from repro.engine import AnalysisEngine, EngineOptions
 from repro.runtime.executor import Executor
 from repro.workloads import Workload, all_workloads, load_workload
 
@@ -42,27 +48,57 @@ def plain_interpretation_time(workload: Workload) -> float:
     return time.perf_counter() - started
 
 
+def _engine(
+    config: Optional[PortendConfig],
+    use_semantic_predicates: bool,
+    parallel: int,
+    cache_dir: Optional[str],
+) -> AnalysisEngine:
+    return AnalysisEngine(
+        config=config,
+        options=EngineOptions(
+            parallel=parallel,
+            cache_dir=cache_dir,
+            use_semantic_predicates=use_semantic_predicates,
+        ),
+    )
+
+
+def _wrap_runs(
+    engine: AnalysisEngine,
+    engine_runs,
+    use_semantic_predicates: bool,
+    measure_plain_time: bool,
+) -> List[WorkloadRun]:
+    runs: List[WorkloadRun] = []
+    for engine_run in engine_runs:
+        plain = (
+            plain_interpretation_time(engine_run.workload) if measure_plain_time else 0.0
+        )
+        runs.append(
+            WorkloadRun(
+                workload=engine_run.workload,
+                result=engine_run.result,
+                config=engine.config,
+                plain_interpretation_seconds=plain,
+                used_semantic_predicates=use_semantic_predicates,
+            )
+        )
+    return runs
+
+
 def analyze_workload(
     workload: Workload,
     config: Optional[PortendConfig] = None,
     use_semantic_predicates: bool = False,
     measure_plain_time: bool = False,
+    parallel: int = 0,
+    cache_dir: Optional[str] = None,
 ) -> WorkloadRun:
     """Run detection + classification for one workload."""
-    config = config or PortendConfig()
-    predicates = list(workload.predicates)
-    if use_semantic_predicates:
-        predicates += list(workload.semantic_predicates)
-    portend = Portend(workload.program, config=config, predicates=predicates)
-    result = portend.analyze(workload.inputs)
-    plain = plain_interpretation_time(workload) if measure_plain_time else 0.0
-    return WorkloadRun(
-        workload=workload,
-        result=result,
-        config=config,
-        plain_interpretation_seconds=plain,
-        used_semantic_predicates=use_semantic_predicates,
-    )
+    engine = _engine(config, use_semantic_predicates, parallel, cache_dir)
+    engine_runs = engine.analyze_workloads([workload])
+    return _wrap_runs(engine, engine_runs, use_semantic_predicates, measure_plain_time)[0]
 
 
 def analyze_all(
@@ -71,18 +107,18 @@ def analyze_all(
     include_micro: bool = True,
     use_semantic_predicates: bool = False,
     measure_plain_time: bool = False,
+    parallel: int = 0,
+    cache_dir: Optional[str] = None,
 ) -> List[WorkloadRun]:
-    """Run Portend over a set of workloads (default: the full Table 1 list)."""
+    """Run Portend over a set of workloads (default: the full Table 1 list).
+
+    ``parallel`` dispatches the whole batch's (workload, race) queue over a
+    process pool; ``cache_dir`` reuses recorded traces across invocations.
+    """
     if names is None:
         workloads = all_workloads(include_micro=include_micro)
     else:
         workloads = [load_workload(name) for name in names]
-    return [
-        analyze_workload(
-            workload,
-            config=config,
-            use_semantic_predicates=use_semantic_predicates,
-            measure_plain_time=measure_plain_time,
-        )
-        for workload in workloads
-    ]
+    engine = _engine(config, use_semantic_predicates, parallel, cache_dir)
+    engine_runs = engine.analyze_workloads(workloads)
+    return _wrap_runs(engine, engine_runs, use_semantic_predicates, measure_plain_time)

@@ -39,7 +39,11 @@ def _count(classified, kind: SpecViolationKind) -> int:
     )
 
 
-def run(config: Optional[PortendConfig] = None) -> List[Table2Row]:
+def run(
+    config: Optional[PortendConfig] = None,
+    parallel: int = 0,
+    cache_dir: Optional[str] = None,
+) -> List[Table2Row]:
     config = config or PortendConfig()
     rows: List[Table2Row] = []
 
@@ -49,7 +53,9 @@ def run(config: Optional[PortendConfig] = None) -> List[Table2Row]:
             # The paper's memcached crash comes from the what-if experiment:
             # an intentionally removed synchronisation operation (§5.1).
             workload = build_memcached(remove_slab_lock=True)
-        run_result = analyze_workload(workload, config=config)
+        run_result = analyze_workload(
+            workload, config=config, parallel=parallel, cache_dir=cache_dir
+        )
         classified = run_result.result.classified
         rows.append(
             Table2Row(
@@ -65,7 +71,13 @@ def run(config: Optional[PortendConfig] = None) -> List[Table2Row]:
     # fmm contributes a semantic violation only when the timestamp predicate
     # is enabled (§5.1).
     fmm = load_workload("fmm")
-    fmm_run = analyze_workload(fmm, config=config, use_semantic_predicates=True)
+    fmm_run = analyze_workload(
+        fmm,
+        config=config,
+        use_semantic_predicates=True,
+        parallel=parallel,
+        cache_dir=cache_dir,
+    )
     rows.insert(
         3,
         Table2Row(

@@ -99,6 +99,10 @@ class MultiPathExplorer:
         self.symbolic_input_limit = symbolic_input_limit
         self.states_explored = 0
         self.states_pruned = 0
+        #: one human-readable entry per pruned state, explaining why the
+        #: path was discarded (schedule divergence reasons come from
+        #: :class:`repro.runtime.scheduler.ReplayPolicy` diagnostics)
+        self.prune_reasons: List[str] = []
 
     # -------------------------------------------------------------- symbolic
 
@@ -135,24 +139,29 @@ class MultiPathExplorer:
             worklist.extend(result.forks)
 
             if result.status is not RunStatus.COMPLETED:
-                self.states_pruned += 1
+                self._prune(state, f"execution did not complete ({result.status.value})")
                 continue
             race_step = state.notes.get(_RaceReachedTracker.NOTE_RACE)
             if race_step is None:
                 # This path never exercised the target race: prune (§3.3).
-                self.states_pruned += 1
+                self._prune(state, "path never exercised the target race")
                 continue
             if policy.diverged and (
                 policy.divergence_step is None or policy.divergence_step < race_step
             ):
                 # Schedule divergence before the race: the path does not obey
                 # the recorded schedule trace, prune it.
-                self.states_pruned += 1
+                detail = policy.divergence_reason or "unknown divergence"
+                self._prune(
+                    state,
+                    f"schedule diverged before the race at step "
+                    f"{policy.divergence_step}: {detail}",
+                )
                 continue
 
             concrete_inputs = self._solve_inputs(state)
             if concrete_inputs is None:
-                self.states_pruned += 1
+                self._prune(state, "path condition has no concrete input model")
                 continue
             primaries.append(
                 PrimaryPath(
@@ -169,6 +178,10 @@ class MultiPathExplorer:
         return primaries
 
     # -------------------------------------------------------------- internals
+
+    def _prune(self, state: ExecutionState, reason: str) -> None:
+        self.states_pruned += 1
+        self.prune_reasons.append(f"state {state.state_id}: {reason}")
 
     def _policy_for(self, state: ExecutionState) -> ReplayPolicy:
         """Resume trace replay at the decision this state has already reached.

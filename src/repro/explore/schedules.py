@@ -7,19 +7,21 @@ from typing import List
 from repro.runtime.scheduler import RandomPolicy, RoundRobinPolicy, SchedulePolicy
 
 
-def alternate_schedule_policies(count: int, seed: int, race_id: int = 0) -> List[SchedulePolicy]:
+def alternate_schedule_policies(count: int, base_seed: int) -> List[SchedulePolicy]:
     """Post-race schedule policies for the alternates of one primary path.
 
     The first alternate keeps the deterministic round-robin continuation (it
     corresponds to the single-post analysis); every further alternate runs
     under an independently seeded random scheduler, so "every alternate
     execution will most likely have a different schedule from the original
-    input trace".  Seeds mix in the race id so different races do not share
-    schedule sequences.
+    input trace".  ``base_seed`` comes from
+    :meth:`repro.core.config.PortendConfig.race_seed`, which mixes in the
+    race id and primary-path index: every race owns its schedule seeds, so
+    serial and parallel classification produce bit-identical results.
     """
     if count <= 0:
         return []
     policies: List[SchedulePolicy] = [RoundRobinPolicy()]
     for index in range(1, count):
-        policies.append(RandomPolicy(seed=seed * 1_000_003 + race_id * 101 + index))
+        policies.append(RandomPolicy(seed=base_seed + index))
     return policies

@@ -8,6 +8,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.detection.race_report import RaceReport
 from repro.runtime.scheduler import ScheduleDecision
 from repro.runtime.state import InputRecord
+from repro.symex.expr import value_from_dict, value_to_dict
 
 
 @dataclass
@@ -46,4 +47,66 @@ class ExecutionTrace:
             f"trace of {self.program}: {len(self.decisions)} scheduling decisions, "
             f"{len(self.races)} distinct races, {self.step_count} steps, "
             f"outcome={self.outcome or 'unknown'}"
+        )
+
+    # -------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form of the trace.
+
+        Traces cross process boundaries in the :mod:`repro.engine` work queue
+        and are cached on disk, so every field (including symbolic input
+        values) must survive a ``json.dumps``/``json.loads`` round trip.
+        """
+        return {
+            "program": self.program,
+            "decisions": [
+                {
+                    "index": decision.index,
+                    "tid": decision.tid,
+                    "pc": decision.pc,
+                    "step": decision.step,
+                    "reason": decision.reason,
+                }
+                for decision in self.decisions
+            ],
+            "concrete_inputs": dict(self.concrete_inputs),
+            "input_log": [
+                {
+                    "name": record.name,
+                    "value": value_to_dict(record.value),
+                    "tid": record.tid,
+                    "pc": record.pc,
+                    "step": record.step,
+                    "symbolic": record.symbolic,
+                }
+                for record in self.input_log
+            ],
+            "races": [race.to_dict() for race in self.races],
+            "step_count": self.step_count,
+            "preemption_points": self.preemption_points,
+            "outcome": self.outcome,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExecutionTrace":
+        return cls(
+            program=data["program"],
+            decisions=[ScheduleDecision(**decision) for decision in data["decisions"]],
+            concrete_inputs=dict(data["concrete_inputs"]),
+            input_log=[
+                InputRecord(
+                    name=record["name"],
+                    value=value_from_dict(record["value"]),
+                    tid=record["tid"],
+                    pc=record["pc"],
+                    step=record["step"],
+                    symbolic=record["symbolic"],
+                )
+                for record in data["input_log"]
+            ],
+            races=[RaceReport.from_dict(race) for race in data["races"]],
+            step_count=data["step_count"],
+            preemption_points=data["preemption_points"],
+            outcome=data["outcome"],
         )

@@ -128,12 +128,16 @@ class ReplayPolicy(SchedulePolicy):
         self.cursor = 0
         self.diverged = False
         self.divergence_step: Optional[int] = None
+        self.divergence_reason: Optional[str] = None
+        self.skipped_decisions: List[ScheduleDecision] = []
         self.fallback = fallback or RoundRobinPolicy()
 
     def reset(self) -> None:
         self.cursor = 0
         self.diverged = False
         self.divergence_step = None
+        self.divergence_reason = None
+        self.skipped_decisions = []
         self.fallback.reset()
 
     def remaining(self) -> int:
@@ -149,19 +153,40 @@ class ReplayPolicy(SchedulePolicy):
                 return current
             return self.fallback.choose(state, runnable, current, reason)
         if self.cursor < len(self.decisions):
-            wanted = self.decisions[self.cursor].tid
+            decision = self.decisions[self.cursor]
             self.cursor += 1
-            if wanted in runnable:
-                return wanted
-            self._mark_diverged(state)
+            if decision.tid in runnable:
+                return decision.tid
+            # The decision is consumed and the replay diverges permanently,
+            # even when the recorded tid is merely blocked right now; keep
+            # the skipped decision and the reason so the multi-path explorer
+            # (§3.3) can report *why* a path was pruned.
+            self.skipped_decisions.append(decision)
+            self._mark_diverged(state, self._describe_unrunnable(state, decision))
             return self.fallback.choose(state, runnable, current, reason)
-        self._mark_diverged(state)
+        self._mark_diverged(state, "recorded schedule exhausted")
         return self.fallback.choose(state, runnable, current, reason)
 
-    def _mark_diverged(self, state) -> None:
+    def _describe_unrunnable(self, state, decision: ScheduleDecision) -> str:
+        thread = getattr(state, "threads", {}).get(decision.tid)
+        if thread is None:
+            status = "not yet created"
+        elif getattr(thread, "is_blocked", False):
+            status = "blocked"
+        elif getattr(thread, "is_finished", False):
+            status = "finished"
+        else:
+            status = "not runnable"
+        return (
+            f"recorded tid {decision.tid} {status} at decision "
+            f"{decision.index} (recorded step {decision.step})"
+        )
+
+    def _mark_diverged(self, state, reason: str) -> None:
         if not self.diverged:
             self.diverged = True
             self.divergence_step = state.step_count
+            self.divergence_reason = reason
 
 
 class ControlledPolicy(SchedulePolicy):

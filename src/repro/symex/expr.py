@@ -386,6 +386,66 @@ def expr_size(value: Value) -> int:
     raise ExprError(f"unknown expression node {value!r}")
 
 
+def value_to_dict(value: Value) -> object:
+    """JSON-serializable encoding of a concrete or symbolic value.
+
+    Concrete integers encode as themselves; symbolic nodes encode as tagged
+    dicts.  The encoding is the wire format used when execution traces cross
+    process boundaries (see :mod:`repro.engine`).
+    """
+    if not isinstance(value, SymExpr):
+        return _as_int(value)
+    if isinstance(value, SymVar):
+        return {"kind": "var", "name": value.name, "lo": value.lo, "hi": value.hi}
+    if isinstance(value, BinExpr):
+        return {
+            "kind": "bin",
+            "op": value.op.value,
+            "left": value_to_dict(value.left),
+            "right": value_to_dict(value.right),
+        }
+    if isinstance(value, UnExpr):
+        return {"kind": "un", "op": value.op.value, "operand": value_to_dict(value.operand)}
+    if isinstance(value, IteExpr):
+        return {
+            "kind": "ite",
+            "cond": value_to_dict(value.cond),
+            "then": value_to_dict(value.then_value),
+            "else": value_to_dict(value.else_value),
+        }
+    raise ExprError(f"unknown expression node {value!r}")
+
+
+def value_from_dict(data: object) -> Value:
+    """Inverse of :func:`value_to_dict`.
+
+    Symbolic nodes are rebuilt verbatim (no constant folding), so a round
+    trip preserves expression structure exactly.
+    """
+    if isinstance(data, bool):
+        return int(data)
+    if isinstance(data, int):
+        return data
+    if not isinstance(data, dict):
+        raise ExprError(f"cannot decode value from {data!r}")
+    kind = data.get("kind")
+    if kind == "var":
+        return SymVar(data["name"], data["lo"], data["hi"])
+    if kind == "bin":
+        return BinExpr(
+            Op(data["op"]), value_from_dict(data["left"]), value_from_dict(data["right"])
+        )
+    if kind == "un":
+        return UnExpr(Op(data["op"]), value_from_dict(data["operand"]))
+    if kind == "ite":
+        return IteExpr(
+            value_from_dict(data["cond"]),
+            value_from_dict(data["then"]),
+            value_from_dict(data["else"]),
+        )
+    raise ExprError(f"cannot decode value from {data!r}")
+
+
 def render(value: Value) -> str:
     """Human-readable rendering used in debugging-aid reports."""
     if not isinstance(value, SymExpr):

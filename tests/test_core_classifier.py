@@ -27,6 +27,26 @@ class TestOutputComparison:
         assert not compare_concrete(a, c).matches
         assert not compare_concrete(a, []).matches
 
+    def test_concrete_comparison_is_numeric_not_repr(self):
+        # Regression: repr-based comparison flagged numerically equal values
+        # of different types (1 vs True) as output differences.
+        assert compare_concrete([_record("out", [1])], [_record("out", [True])]).matches
+        assert compare_concrete([_record("out", [0])], [_record("out", [False])]).matches
+        assert not compare_concrete([_record("out", [1])], [_record("out", [False])]).matches
+
+    def test_concrete_comparison_folds_constant_expressions(self):
+        from repro.symex.expr import BinExpr, Op
+
+        # An unsimplified constant expression (1 + 0) is numerically equal
+        # to the plain constant 1.
+        unsimplified = BinExpr(Op.ADD, 1, 0)
+        assert compare_concrete(
+            [_record("out", [unsimplified])], [_record("out", [1])]
+        ).matches
+        assert not compare_concrete(
+            [_record("out", [unsimplified])], [_record("out", [2])]
+        ).matches
+
     def test_symbolic_membership(self):
         solver = Solver()
         x = SymVar("x", 0, 100)

@@ -117,6 +117,65 @@ class TestHappensBeforeDetector:
         trace, _, _ = record_execution(b.build())
         assert trace.races == []
 
+    def test_clustering_splits_same_pcs_with_different_stacks(self):
+        # §4: races at the same location and pcs but with different stack
+        # traces are distinct.  Two threads reach the same helper store from
+        # different callers; both race with main's direct store, so the old
+        # (space, name, pcs)-only key wrongly merged them into one race.
+        b = ProgramBuilder("stacked")
+        b.global_var("x", 0)
+        helper = b.function("helper")
+        helper.assign(glob("x"), 1, label="helper.c:5")
+        helper.ret()
+        caller_a = b.function("caller_a")
+        caller_a.call("helper", label="a.c:10")
+        caller_a.ret()
+        caller_b = b.function("caller_b")
+        caller_b.call("helper", label="b.c:10")
+        caller_b.ret()
+        main = b.function("main")
+        main.spawn("ta", "caller_a")
+        main.spawn("tb", "caller_b")
+        main.assign(glob("x"), 99, label="main.c:20")
+        main.join(local("ta"))
+        main.join(local("tb"))
+        main.ret()
+        trace, _, _ = record_execution(b.build())
+        keys = {
+            (race.first.cluster_signature(), race.second.cluster_signature())
+            for race in trace.races
+        }
+        assert len(trace.races) == len(keys)
+        # main-vs-caller_a and main-vs-caller_b share pcs but differ in the
+        # racing thread's stack, so they must be two distinct races.
+        main_races = [
+            race
+            for race in trace.races
+            if "main" in (race.first.thread_identity(), race.second.thread_identity())
+        ]
+        assert len(main_races) >= 2
+
+    def test_clustering_keeps_symmetric_workers_together(self):
+        # Thread identity is the thread's role (entry function), not the raw
+        # dynamic tid: pairwise races between N identical workers are the
+        # same distinct race, regardless of which worker pair was observed.
+        b = ProgramBuilder("symmetric")
+        b.global_var("x", 0)
+        worker = b.function("worker")
+        worker.assign(glob("x"), add(glob("x"), 1), label="w.c:5")
+        worker.ret()
+        main = b.function("main")
+        main.spawn("t1", "worker")
+        main.spawn("t2", "worker")
+        main.spawn("t3", "worker")
+        main.join(local("t1"))
+        main.join(local("t2"))
+        main.join(local("t3"))
+        main.ret()
+        trace, _, _ = record_execution(b.build())
+        assert len(trace.races) == 1
+        assert trace.races[0].instance_count >= 2
+
     def test_clustering_collapses_instances(self):
         b = ProgramBuilder("instances")
         b.global_var("x", 0)

@@ -343,3 +343,72 @@ class TestSymbolicExecution:
             _, state, _ = run_program(b, policy=RandomPolicy(seed=7))
             builder_outputs.append(state.output_summary())
         assert builder_outputs[0] == builder_outputs[1]
+
+
+class TestReplayDivergenceDiagnostics:
+    class _Thread:
+        def __init__(self, blocked=False, finished=False):
+            self.is_blocked = blocked
+            self.is_finished = finished
+
+    class _State:
+        def __init__(self, threads, step_count=5):
+            self.threads = threads
+            self.step_count = step_count
+
+    def _decision(self, tid, index=0, step=3):
+        from repro.runtime.scheduler import ScheduleDecision
+
+        return ScheduleDecision(index=index, tid=tid, pc=1, step=step, reason="sync")
+
+    def test_blocked_recorded_tid_is_reported_with_reason(self):
+        # Regression: the skipped decision and the reason for divergence are
+        # kept, so the multi-path explorer can say why a path was pruned.
+        policy = ReplayPolicy([self._decision(tid=1, index=4)])
+        state = self._State({0: self._Thread(), 1: self._Thread(blocked=True)})
+        chosen = policy.choose(state, runnable=[0], current=0, reason="sync")
+        assert chosen == 0
+        assert policy.diverged
+        assert policy.divergence_step == state.step_count
+        assert policy.skipped_decisions == [self._decision(tid=1, index=4)]
+        assert "blocked" in policy.divergence_reason
+        assert "decision 4" in policy.divergence_reason
+
+    def test_finished_and_missing_tids_have_distinct_reasons(self):
+        policy = ReplayPolicy([self._decision(tid=1), self._decision(tid=9, index=1)])
+        state = self._State({0: self._Thread(), 1: self._Thread(finished=True)})
+        policy.choose(state, runnable=[0], current=0, reason="sync")
+        assert "finished" in policy.divergence_reason
+        fresh = ReplayPolicy([self._decision(tid=9)])
+        fresh.choose(state, runnable=[0], current=0, reason="sync")
+        assert "not yet created" in fresh.divergence_reason
+
+    def test_exhausted_trace_reason_and_reset(self):
+        policy = ReplayPolicy([])
+        state = self._State({0: self._Thread()})
+        policy.choose(state, runnable=[0], current=0, reason="sync")
+        assert policy.diverged
+        assert policy.divergence_reason == "recorded schedule exhausted"
+        policy.reset()
+        assert not policy.diverged
+        assert policy.divergence_reason is None
+        assert policy.skipped_decisions == []
+
+    def test_explorer_records_prune_reasons(self):
+        from repro.core import Portend
+        from repro.core.config import PortendConfig
+        from repro.explore.paths import MultiPathExplorer
+        from repro.workloads import load_workload
+
+        workload = load_workload("bbuf")
+        portend = Portend(workload.program, predicates=workload.predicates)
+        trace = portend.record(workload.inputs)
+        explorer = MultiPathExplorer(
+            portend.executor,
+            portend.program,
+            trace,
+            trace.races[0],
+            max_primaries=PortendConfig().mp,
+        )
+        explorer.explore()
+        assert len(explorer.prune_reasons) == explorer.states_pruned
