@@ -1,17 +1,26 @@
-"""Benchmark: serial vs parallel batch classification with the AnalysisEngine.
+"""Benchmark: the staged analysis engine (serial vs parallel, cold vs warm).
 
-Runs the whole Table 1 workload list through the engine twice -- once
-serially, once over a process pool -- verifies the classifications are
-bit-identical, and reports both wall-clock times.  The speedup assertion is
-gated on the host actually having more than one CPU: on a single core the
-pool only adds process-management overhead, which is exactly what the
-serial fallback exists for.
+Runs the Table 1 workload list *plus* the synthetic ``stress`` workload
+(hundreds of distinct races in one trace, the shape that exercises
+intra-workload parallelism) through the engine three ways:
+
+1. serially at race granularity (the reference),
+2. over a process pool at ``(race, primary-path)`` granularity,
+3. twice against a shared cache directory (cold, then warm -- the warm run
+   must classify nothing).
+
+Classifications are verified bit-identical across all modes.  The speedup
+assertion is gated on the host actually having more than one CPU: on a
+single core the pool only adds process-management overhead, which is
+exactly what the serial fallback exists for.
 """
 
 import os
+import tempfile
 import time
 
 from repro.engine import AnalysisEngine, EngineOptions
+from repro.engine.stats import GLOBAL_STATS
 from repro.workloads import all_workload_names
 
 WORKERS = min(4, os.cpu_count() or 1)
@@ -27,6 +36,7 @@ def _signature(runs):
             item.paths_explored,
             item.schedules_explored,
             item.stage,
+            item.paths_pruned,
         )
         for run in runs
         for item in run.result.classified
@@ -34,7 +44,7 @@ def _signature(runs):
 
 
 def run_comparison(names=None):
-    names = list(names) if names is not None else all_workload_names()
+    names = list(names) if names is not None else all_workload_names(include_synthetic=True)
 
     started = time.perf_counter()
     serial_runs = AnalysisEngine().analyze(names)
@@ -42,42 +52,95 @@ def run_comparison(names=None):
 
     started = time.perf_counter()
     parallel_runs = AnalysisEngine(
-        options=EngineOptions(parallel=WORKERS)
+        options=EngineOptions(parallel=WORKERS, granularity="path" if WORKERS > 1 else "auto")
     ).analyze(names)
     parallel_seconds = time.perf_counter() - started
 
-    return serial_runs, serial_seconds, parallel_runs, parallel_seconds
+    with tempfile.TemporaryDirectory() as cache_dir:
+        options = EngineOptions(cache_dir=cache_dir)
+        started = time.perf_counter()
+        AnalysisEngine(options=options).analyze(names)
+        cold_seconds = time.perf_counter() - started
+        GLOBAL_STATS.reset()
+        started = time.perf_counter()
+        warm_runs = AnalysisEngine(options=options).analyze(names)
+        warm_seconds = time.perf_counter() - started
+        warm_classifications = GLOBAL_STATS.classifications_computed
+
+    return {
+        "serial_runs": serial_runs,
+        "serial_seconds": serial_seconds,
+        "parallel_runs": parallel_runs,
+        "parallel_seconds": parallel_seconds,
+        "cold_seconds": cold_seconds,
+        "warm_runs": warm_runs,
+        "warm_seconds": warm_seconds,
+        "warm_classifications": warm_classifications,
+    }
 
 
-def render(serial_runs, serial_seconds, parallel_runs, parallel_seconds):
+def render(outcome):
+    serial_runs = outcome["serial_runs"]
     races = sum(len(run.result.classified) for run in serial_runs)
-    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    speedup = (
+        outcome["serial_seconds"] / outcome["parallel_seconds"]
+        if outcome["parallel_seconds"]
+        else float("inf")
+    )
+    warm_speedup = (
+        outcome["cold_seconds"] / outcome["warm_seconds"]
+        if outcome["warm_seconds"]
+        else float("inf")
+    )
     lines = [
-        "Engine benchmark: serial vs parallel batch classification",
-        f"{'workloads':<22} {len(serial_runs)}",
-        f"{'distinct races':<22} {races}",
-        f"{'worker processes':<22} {WORKERS} (host cpus: {os.cpu_count()})",
-        f"{'serial wall-clock':<22} {serial_seconds:.2f}s",
-        f"{'parallel wall-clock':<22} {parallel_seconds:.2f}s",
-        f"{'speedup':<22} {speedup:.2f}x",
+        "Engine benchmark: staged pipeline, serial vs parallel vs warm cache",
+        f"{'workloads':<26} {len(serial_runs)}",
+        f"{'distinct races':<26} {races}",
+        f"{'worker processes':<26} {WORKERS} (host cpus: {os.cpu_count()})",
+        f"{'serial wall-clock':<26} {outcome['serial_seconds']:.2f}s  (race granularity)",
+        f"{'parallel wall-clock':<26} {outcome['parallel_seconds']:.2f}s  "
+        f"({'path' if WORKERS > 1 else 'race'} granularity)",
+        f"{'parallel speedup':<26} {speedup:.2f}x",
+        f"{'cold cached run':<26} {outcome['cold_seconds']:.2f}s",
+        f"{'warm cached run':<26} {outcome['warm_seconds']:.2f}s  "
+        f"({outcome['warm_classifications']} classifications computed)",
+        f"{'warm speedup':<26} {warm_speedup:.2f}x",
     ]
     return "\n".join(lines)
 
 
-def test_engine_serial_vs_parallel(benchmark, once):
-    serial_runs, serial_seconds, parallel_runs, parallel_seconds = once(
-        benchmark, run_comparison
-    )
-    print()
-    print(render(serial_runs, serial_seconds, parallel_runs, parallel_seconds))
+def verify(outcome):
+    """Correctness gates, shared by the pytest entry point and __main__.
 
-    assert _signature(serial_runs) == _signature(parallel_runs)
-    assert sum(run.result.distinct_races() for run in serial_runs) == 93
+    Running the file directly (as the CI bench job does) must fail loudly if
+    per-path parallel classification ever diverges from serial or the warm
+    cache re-classifies.
+    """
+    assert _signature(outcome["serial_runs"]) == _signature(outcome["parallel_runs"])
+    assert _signature(outcome["serial_runs"]) == _signature(outcome["warm_runs"])
+    # Per-workload ground truth: the default list totals 93 (the paper's
+    # Table 3) plus the stress slots; a names subset checks its own subset.
+    for run in outcome["serial_runs"]:
+        assert run.result.distinct_races() == run.workload.expected_distinct_races, (
+            run.workload.name,
+            run.result.distinct_races(),
+        )
+    # A fully warm cache must skip classification entirely.
+    assert outcome["warm_classifications"] == 0
     if (os.cpu_count() or 1) > 1 and WORKERS > 1:
         # Real parallel hardware must beat the serial pipeline on a
-        # multi-race batch (93 independent classification tasks).
-        assert parallel_seconds < serial_seconds
+        # multi-race batch (hundreds of independent tasks).
+        assert outcome["parallel_seconds"] < outcome["serial_seconds"]
+
+
+def test_engine_serial_vs_parallel(benchmark, once):
+    outcome = once(benchmark, run_comparison)
+    print()
+    print(render(outcome))
+    verify(outcome)
 
 
 if __name__ == "__main__":
-    print(render(*run_comparison()))
+    _outcome = run_comparison()
+    print(render(_outcome))
+    verify(_outcome)

@@ -108,6 +108,10 @@ class ClassifiedRace:
     analysis_steps: int = 0
     evidence: ClassificationEvidence = field(default_factory=ClassificationEvidence)
     stage: str = "single-pre/single-post"
+    #: primary-path candidates discarded during multi-path exploration (§3.3)
+    paths_pruned: int = 0
+    #: one human-readable entry per pruned candidate, in exploration order
+    prune_reasons: List[str] = field(default_factory=list)
 
     @property
     def is_harmful(self) -> bool:
@@ -132,6 +136,8 @@ class ClassifiedRace:
             "analysis_steps": self.analysis_steps,
             "evidence": self.evidence.to_dict(),
             "stage": self.stage,
+            "paths_pruned": self.paths_pruned,
+            "prune_reasons": list(self.prune_reasons),
         }
 
     @classmethod
@@ -146,4 +152,6 @@ class ClassifiedRace:
             analysis_steps=data["analysis_steps"],
             evidence=ClassificationEvidence.from_dict(data["evidence"]),
             stage=data["stage"],
+            paths_pruned=data.get("paths_pruned", 0),
+            prune_reasons=list(data.get("prune_reasons", ())),
         )

@@ -75,6 +75,18 @@ class PortendConfig:
     def to_dict(self) -> Dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    def classification_fingerprint(self) -> Dict:
+        """Every knob that can change a classification verdict, sorted.
+
+        Used by the engine's classification cache: a cached
+        ``ClassifiedRace`` is only valid for the exact configuration that
+        produced it.  *All* knobs participate -- ``seed`` (the base of
+        :meth:`race_seed`), the ``mp``/``ma`` exploration limits, the
+        ablation switches, the step/state ceilings -- so any config change
+        invalidates cached verdicts instead of silently serving stale ones.
+        """
+        return dict(sorted(self.to_dict().items()))
+
     @classmethod
     def from_dict(cls, data: Dict) -> "PortendConfig":
         known = {f.name for f in fields(cls)}

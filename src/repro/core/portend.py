@@ -64,6 +64,15 @@ class PortendResult:
     def reports(self) -> List[PortendReport]:
         return [PortendReport(item) for item in self.classified]
 
+    def total_paths_pruned(self) -> int:
+        """Primary-path candidates discarded across all classified races.
+
+        The per-race reasons live in ``ClassifiedRace.prune_reasons`` and are
+        rendered by :class:`repro.core.report.PortendReport`; this aggregate
+        flags in one number when exploration is being throttled (§3.3).
+        """
+        return sum(item.paths_pruned for item in self.classified)
+
     def summary(self) -> str:
         counts = self.counts()
         parts = [
@@ -77,6 +86,9 @@ class PortendResult:
             RaceClass.SINGLE_ORDERING,
         ):
             parts.append(f"{cls.value}: {counts.get(cls, 0)}")
+        pruned = self.total_paths_pruned()
+        if pruned:
+            parts.append(f"pruned paths: {pruned}")
         return " | ".join(parts)
 
 

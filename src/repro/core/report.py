@@ -50,7 +50,31 @@ class PortendReport:
             f"time={classified.analysis_seconds:.3f}s"
         )
         lines.extend(self._evidence_lines())
+        lines.extend(self._prune_lines())
         return "\n".join(lines)
+
+    #: pruned-path explanations shown before the report truncates them
+    MAX_PRUNE_REASONS = 5
+
+    def _prune_lines(self) -> List[str]:
+        """Explain the primary-path candidates the explorer discarded (§3.3).
+
+        Multi-path exploration prunes states that never exercise the race or
+        whose schedule diverges from the recorded trace before the racing
+        accesses; surfacing the per-state reasons (which embed
+        ``ReplayPolicy.divergence_reason`` diagnostics) tells the developer
+        why k is smaller than Mp × Ma for this race.
+        """
+        classified = self.classified
+        if not classified.paths_pruned:
+            return []
+        lines = [f"pruned primary-path candidates: {classified.paths_pruned}"]
+        for reason in classified.prune_reasons[: self.MAX_PRUNE_REASONS]:
+            lines.append(f"  - {reason}")
+        remaining = len(classified.prune_reasons) - self.MAX_PRUNE_REASONS
+        if remaining > 0:
+            lines.append(f"  ... and {remaining} more")
+        return lines
 
     def _evidence_lines(self) -> List[str]:
         classified = self.classified

@@ -1,29 +1,51 @@
-"""Parallel batch analysis engine (work queue + process pool + trace cache).
+"""Staged parallel analysis engine (record→detect→classify + two caches).
 
-* :mod:`repro.engine.engine` -- :class:`AnalysisEngine`, the batched
-  detect→classify pipeline with a ``concurrent.futures`` process pool and a
-  serial fallback,
-* :mod:`repro.engine.tasks` -- the ``(workload, race)`` work items and the
-  picklable worker entry points,
+* :mod:`repro.engine.engine` -- :class:`AnalysisEngine`, the staged
+  record→detect→classify pipeline over ``concurrent.futures`` process pools
+  with a serial fallback and a deterministic per-path merge,
+* :mod:`repro.engine.tasks` -- the work items (``RecordTask``,
+  ``ClassificationTask``, ``PlanTask``, ``PathTask``) and their picklable
+  worker entry points,
 * :mod:`repro.engine.cache` -- the on-disk trace cache keyed by
-  ``(program, inputs, config)``.
+  ``(program, inputs, config)`` and the classification cache keyed by
+  ``(program, inputs, config, race_id)`` plus the predicate mode,
+* :mod:`repro.engine.stats` -- process-wide cache-hit/recompute counters.
 """
 
-from repro.engine.cache import TraceCache
+from repro.engine.cache import ClassificationCache, TraceCache
 from repro.engine.engine import (
     AnalysisEngine,
     EngineOptions,
     EngineRun,
     classify_races_parallel,
 )
-from repro.engine.tasks import ClassificationTask, execute_task
+from repro.engine.stats import GLOBAL_STATS, EngineStats
+from repro.engine.tasks import (
+    ClassificationTask,
+    PathTask,
+    PlanTask,
+    RecordTask,
+    execute_path_task,
+    execute_plan_task,
+    execute_record_task,
+    execute_task,
+)
 
 __all__ = [
     "AnalysisEngine",
     "EngineOptions",
     "EngineRun",
     "TraceCache",
+    "ClassificationCache",
     "ClassificationTask",
+    "RecordTask",
+    "PlanTask",
+    "PathTask",
     "classify_races_parallel",
     "execute_task",
+    "execute_record_task",
+    "execute_plan_task",
+    "execute_path_task",
+    "EngineStats",
+    "GLOBAL_STATS",
 ]

@@ -1,14 +1,25 @@
-"""On-disk trace cache: skip re-recording executions already seen.
+"""On-disk caches: traces (Stage 1) and classifications (Stage 3).
 
-Recording is the front half of the pipeline cost; for a fixed
-``(program, inputs, config)`` triple the recorded trace is deterministic, so
-it can be reused across engine runs (and across processes -- the cache
-stores the JSON wire format of :meth:`ExecutionTrace.to_dict`).
+Both halves of the pipeline are deterministic, so both are cacheable:
 
-Only the configuration knobs that influence *recording* take part in the
-cache key (classification knobs like Mp/Ma/seed do not invalidate a
-recording).  A format version is mixed into the key so stale cache entries
-from older trace layouts are simply missed, never mis-parsed.
+* :class:`TraceCache` -- recording is the front half of the pipeline cost;
+  for a fixed ``(program, inputs, config)`` triple the recorded trace is
+  deterministic, so it can be reused across engine runs (and across
+  processes -- the cache stores the JSON wire format of
+  :meth:`ExecutionTrace.to_dict`).  Only the configuration knobs that
+  influence *recording* take part in the cache key (classification knobs
+  like Mp/Ma/seed do not invalidate a recording).
+* :class:`ClassificationCache` -- a ``ClassifiedRace`` is deterministic
+  given ``(program, inputs, config, race_id)`` plus the predicate set, so
+  warm re-runs of ``python -m repro.experiments all --cache-dir D`` can skip
+  classification entirely.  Here the key must cover *every* classification
+  knob (``race_seed``'s base seed, the Mp/Ma limits, the ablation switches,
+  the predicate mode): any config change invalidates cached verdicts rather
+  than silently serving stale classifications.
+
+Each cache mixes a format version into its keys so stale entries from older
+layouts are simply missed, never mis-parsed.  Both caches can share one
+directory: their file names use disjoint infixes.
 """
 
 from __future__ import annotations
@@ -19,11 +30,15 @@ import os
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.core.categories import ClassifiedRace
 from repro.core.config import PortendConfig
 from repro.record_replay.trace import ExecutionTrace
 
 #: bump when the serialized trace layout changes incompatibly
 TRACE_FORMAT_VERSION = 1
+
+#: bump when the serialized ClassifiedRace layout changes incompatibly
+CLASSIFICATION_FORMAT_VERSION = 1
 
 
 def _canonical(obj):
@@ -73,6 +88,110 @@ def _canonical(obj):
     if isinstance(obj, (bool, int, float, str, bytes, type(None))):
         return obj
     return repr(obj)
+
+
+def _code_fingerprint(code) -> str:
+    """Process-stable hash of a code object's compiled logic.
+
+    Reduces a code object to its bytecode plus stable constant/name reprs,
+    with nested code objects (lambdas, comprehensions on Python < 3.12)
+    replaced by their own fingerprint -- a raw ``repr`` of a code object
+    embeds a memory address, and a raw ``repr`` of a set/frozenset constant
+    (e.g. an ``in {'a', 'b'}`` literal) follows per-process string-hash
+    iteration order; either would change across runs and defeat warm-cache
+    hits.
+    """
+    import types
+
+    consts = tuple(
+        _code_fingerprint(const)
+        if isinstance(const, types.CodeType)
+        else _stable_value_repr(const)
+        for const in code.co_consts
+    )
+    digest = hashlib.sha256(
+        (code.co_code.hex() + repr(consts) + repr(code.co_names)).encode("utf-8")
+    )
+    return digest.hexdigest()[:16]
+
+
+def _stable_value_repr(value) -> str:
+    """A repr that never embeds a memory address.
+
+    Primitives and their containers reduce to their real repr, callables to
+    their fingerprint; anything else degrades to its type name -- stable
+    (so warm runs stay warm) but content-insensitive, which is the
+    documented limit of predicate fingerprinting.
+    """
+    if isinstance(value, (bool, int, float, str, bytes, type(None))):
+        return repr(value)
+    if isinstance(value, (tuple, list, frozenset, set)):
+        items = [_stable_value_repr(item) for item in value]
+        if isinstance(value, (frozenset, set)):
+            items = sorted(items)
+        return f"{type(value).__name__}[{','.join(items)}]"
+    if isinstance(value, dict):
+        return (
+            "dict["
+            + ",".join(
+                sorted(f"{_stable_value_repr(k)}:{_stable_value_repr(v)}" for k, v in value.items())
+            )
+            + "]"
+        )
+    if callable(value):
+        return _callable_fingerprint(value)
+    return type(value).__name__
+
+
+def _callable_fingerprint(fn) -> str:
+    """Process-stable hash of a callable's logic *and* captured parameters.
+
+    Beyond the bytecode (:func:`_code_fingerprint`), the hash covers closure
+    cell contents, argument defaults, and ``functools.partial`` bindings --
+    the places where two same-named predicates most commonly differ (e.g. a
+    predicate factory capturing a threshold).  Captured values reduce via
+    :func:`_stable_value_repr`, so non-primitive captured objects degrade to
+    a type name rather than an address-bearing repr.
+    """
+    import functools
+
+    if isinstance(fn, functools.partial):
+        bound = (
+            tuple(_stable_value_repr(arg) for arg in fn.args),
+            tuple(sorted((key, _stable_value_repr(val)) for key, val in (fn.keywords or {}).items())),
+        )
+        digest = hashlib.sha256(
+            (f"partial:{_callable_fingerprint(fn.func)}:{bound!r}").encode("utf-8")
+        )
+        return digest.hexdigest()[:16]
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return type(fn).__name__
+    cells = tuple(
+        _stable_value_repr(cell.cell_contents)
+        for cell in (getattr(fn, "__closure__", None) or ())
+    )
+    defaults = tuple(
+        _stable_value_repr(default) for default in (getattr(fn, "__defaults__", None) or ())
+    )
+    digest = hashlib.sha256(
+        (f"{_code_fingerprint(code)}:{cells!r}:{defaults!r}").encode("utf-8")
+    )
+    return digest.hexdigest()[:16]
+
+
+def _atomic_write_json(cache_dir: Path, path: Path, payload: str) -> None:
+    """Publish one cache entry atomically.
+
+    Unique tmp name per writer: concurrent engine runs may share a cache
+    dir, and ``os.replace`` makes the final publish atomic
+    (last-writer-wins; identical keys produce identical content).
+    """
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".{os.getpid()}.tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    os.replace(tmp, path)
 
 
 class TraceCache:
@@ -160,13 +279,100 @@ class TraceCache:
         """Persist a recorded trace; returns the cache file path."""
         key = self.key(program, inputs, config, program_fingerprint)
         path = self._path(program, key)
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
         payload = json.dumps({"key": key, "trace": trace.to_dict()})
-        # Unique tmp name per writer: concurrent engine runs may share a
-        # cache dir, and os.replace makes the final publish atomic
-        # (last-writer-wins, both writers produce identical content).
-        tmp = path.with_suffix(f".{os.getpid()}.tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(payload)
-        os.replace(tmp, path)
+        _atomic_write_json(self.cache_dir, path, payload)
+        return path
+
+
+class ClassificationCache:
+    """Directory-backed cache of classified races (the pipeline's back half).
+
+    Keys cover everything a classification depends on: the program *content*
+    (fingerprint, so what-if variants sharing a registry name never
+    collide), the inputs, the race id, the **full** classification config
+    (seed, Mp/Ma, ablation switches -- see
+    :meth:`PortendConfig.classification_fingerprint`), and the predicate set
+    (both the ``use_semantic_predicates`` mode and the predicate names).
+    """
+
+    def __init__(self, cache_dir) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.hits = 0
+        self.misses = 0
+
+    # -------------------------------------------------------------------- key
+
+    @staticmethod
+    def predicate_fingerprint(predicates) -> str:
+        """Stable fingerprint of the semantic predicates in effect.
+
+        Covers each predicate's name *and* (best-effort) its logic: compiled
+        bytecode, closure cell values, argument defaults, and
+        ``functools.partial`` bindings, so editing a predicate's body or its
+        captured parameters invalidates cached verdicts even when its name
+        stays the same.  Only process-stable inputs go into the hash --
+        never object ``repr``s that embed memory addresses, which would
+        break warm-run cache hits across processes.  Known limit:
+        non-primitive captured objects reduce to their type name, so
+        mutating such an object's *content* does not invalidate.
+        """
+        parts = []
+        for predicate in predicates:
+            parts.append(f"{predicate.name}:{_callable_fingerprint(predicate.check)}")
+        return "|".join(sorted(parts))
+
+    @staticmethod
+    def key(
+        program: str,
+        inputs: Dict[str, int],
+        config: PortendConfig,
+        race_id: int,
+        program_fingerprint: str = "",
+        use_semantic_predicates: bool = False,
+        predicate_fingerprint: str = "",
+    ) -> str:
+        """Stable fingerprint of one classification."""
+        fingerprint = {
+            "version": CLASSIFICATION_FORMAT_VERSION,
+            "program": program,
+            "program_fingerprint": program_fingerprint,
+            "inputs": sorted(inputs.items()),
+            "config": config.classification_fingerprint(),
+            "race_id": race_id,
+            "use_semantic_predicates": use_semantic_predicates,
+            "predicates": predicate_fingerprint,
+        }
+        digest = hashlib.sha256(
+            json.dumps(fingerprint, sort_keys=True).encode("utf-8")
+        )
+        return digest.hexdigest()
+
+    def _path(self, program: str, key: str) -> Path:
+        safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in program)
+        return self.cache_dir / f"{safe}-cls-{key[:16]}.json"
+
+    # -------------------------------------------------------------- load/store
+
+    def load(self, program: str, key: str) -> Optional[ClassifiedRace]:
+        """Return the cached classification, or None on a miss."""
+        path = self._path(program, key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("key") != key:
+                raise ValueError("cache key mismatch")
+            classified = ClassifiedRace.from_dict(entry["classified"])
+        except Exception:  # noqa: BLE001 - any unreadable entry is a miss
+            # Corrupt, stale, or hand-edited entries must never crash the
+            # run; the engine simply re-classifies (and overwrites).
+            self.misses += 1
+            return None
+        self.hits += 1
+        return classified
+
+    def store(self, program: str, key: str, classified: ClassifiedRace) -> Path:
+        """Persist a classification; returns the cache file path."""
+        path = self._path(program, key)
+        payload = json.dumps({"key": key, "classified": classified.to_dict()})
+        _atomic_write_json(self.cache_dir, path, payload)
         return path

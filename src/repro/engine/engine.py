@@ -1,51 +1,91 @@
-"""The batch analysis engine: parallel detect→classify over many workloads.
+"""The staged batch analysis engine: record → detect → classify as a pipeline.
 
 Portend's cost is dominated by per-race alternate-schedule exploration
-(§3.3-§3.4), but races are embarrassingly parallel: given the recorded
-trace, each race's classification is independent of every other race's.
-The engine exploits this by
+(§3.3-§3.4), and every unit of that cost is independent of every other: the
+workload recordings are independent programs, the races of one trace are
+independent classifications, and the Mp primary paths of one race are
+independent explorations.  The engine exploits all three levels:
 
-1. recording (or loading from the :class:`repro.engine.cache.TraceCache`)
-   one execution trace per workload,
-2. expanding the batch into a work queue of ``(workload, race)``
-   :class:`repro.engine.tasks.ClassificationTask` items, and
-3. dispatching the queue over a ``concurrent.futures`` process pool
-   (serial in-process execution is both the fallback and the ``parallel<=1``
-   mode -- the identical task code runs either way).
+* **Stage 1 -- record.** Each workload's recording is a pooled
+  :class:`~repro.engine.tasks.RecordTask`, with the on-disk
+  :class:`~repro.engine.cache.TraceCache` as the stage's backing store.
+* **Stage 2 -- detect.** Race detection runs inline with the recording (the
+  happens-before detector is an execution listener), so detection rides the
+  same queue instead of a separate serial pass.
+* **Stage 3 -- classify.** At *race* granularity one
+  :class:`~repro.engine.tasks.ClassificationTask` classifies a whole race; at
+  *path* granularity a :class:`~repro.engine.tasks.PlanTask` per race runs
+  Algorithm 1 and counts the primary paths, one
+  :class:`~repro.engine.tasks.PathTask` per ``(race, primary-path)`` returns
+  a partial :class:`~repro.core.multi_path.PathVerdict`, and a deterministic
+  merge in this module recombines the partials into a ``ClassifiedRace``
+  bit-identical to the serial result.  The
+  :class:`~repro.engine.cache.ClassificationCache` is this stage's backing
+  store: warm re-runs skip classification entirely.
 
 Determinism: every random decision during classification derives from
-``PortendConfig.race_seed(race_id, path_index)``, so the parallel engine
-produces classifications bit-identical to the serial path regardless of
-worker count or completion order.
+``PortendConfig.race_seed(race_id, path_index)``, so the engine produces
+classifications bit-identical to the serial path regardless of worker
+count, task granularity, or completion order.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import pickle
-import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.categories import ClassifiedRace
+from repro.core.classifier import (
+    SingleStageOutcome,
+    finalize_multipath,
+    finalize_single,
+)
 from repro.core.config import PortendConfig
-from repro.engine.cache import TraceCache
-from repro.engine.tasks import ClassificationTask, execute_program_task, execute_task
+from repro.core.multi_path import PathVerdict, merge_path_verdicts
+from repro.engine.cache import ClassificationCache, TraceCache
+from repro.engine.stats import GLOBAL_STATS
+from repro.engine.tasks import (
+    ClassificationTask,
+    PathTask,
+    PlanTask,
+    RecordTask,
+    execute_path_task,
+    execute_plan_task,
+    execute_program_task,
+    execute_record_task,
+    execute_task,
+)
 from repro.record_replay.trace import ExecutionTrace
 from repro.workloads import Workload, all_workloads, load_workload
+
+#: stage-3 task granularities (see EngineOptions.granularity)
+GRANULARITIES = ("auto", "race", "path")
+
+#: monotonic source of trace tokens -- process-unique, never reused, so the
+#: in-process serial fallback can never be served a stale memoized trace
+_TRACE_TOKENS = itertools.count()
 
 
 @dataclass(frozen=True)
 class EngineOptions:
     """Batch-level knobs, orthogonal to the per-race :class:`PortendConfig`."""
 
-    #: worker processes for the classification queue; 0 or 1 means serial
+    #: worker processes for the pipeline queues; 0 or 1 means serial
     parallel: int = 0
-    #: directory for the on-disk trace cache; None disables caching
+    #: directory for the on-disk trace + classification caches; None disables
     cache_dir: Optional[str] = None
     #: also enable each workload's "what-if" semantic predicates
     use_semantic_predicates: bool = False
+    #: stage-3 task granularity: "race" classifies a whole race per task,
+    #: "path" fans each race out into per-primary-path tasks, and "auto"
+    #: picks "path" when a pool is in use and "race" serially (per-path
+    #: tasks re-derive their primary, which only pays off across workers)
+    granularity: str = "auto"
 
 
 @dataclass
@@ -55,10 +95,25 @@ class EngineRun:
     workload: Workload
     result: "PortendResult"
     trace_cached: bool = False
+    #: races of this workload served from the classification cache
+    classifications_cached: int = 0
+
+
+@dataclass
+class _Recording:
+    """Stage-1 output for one workload."""
+
+    workload: Workload
+    trace: ExecutionTrace
+    detection_seconds: float
+    cached: bool
+    #: program content hash, computed once per workload when caching is on
+    #: and reused by the classification-cache keys
+    program_fingerprint: str = ""
 
 
 class AnalysisEngine:
-    """Batches and parallelizes the whole detect→classify pipeline."""
+    """Batches and parallelizes the whole record→detect→classify pipeline."""
 
     def __init__(
         self,
@@ -67,7 +122,18 @@ class AnalysisEngine:
     ) -> None:
         self.config = config or PortendConfig()
         self.options = options or EngineOptions()
+        if self.options.granularity not in GRANULARITIES:
+            raise ValueError(
+                f"unknown granularity {self.options.granularity!r}; "
+                f"expected one of {', '.join(GRANULARITIES)}"
+            )
         self.cache = TraceCache(self.options.cache_dir) if self.options.cache_dir else None
+        self.classification_cache = (
+            ClassificationCache(self.options.cache_dir) if self.options.cache_dir else None
+        )
+        #: set when a dispatch had to fall back to serial execution; lets
+        #: "auto" granularity stop fanning out per-path work no pool will run
+        self._pool_unavailable = False
 
     # --------------------------------------------------------------- recording
 
@@ -76,27 +142,55 @@ class AnalysisEngine:
 
         Returns ``(trace, detection_seconds, was_cached)``.
         """
-        from repro.core.portend import Portend
+        recording = self._record_stage([workload])[0]
+        return recording.trace, recording.detection_seconds, recording.cached
 
-        fingerprint = ""
-        if self.cache is not None:
-            fingerprint = self.cache.program_fingerprint(workload.program)
-            cached = self.cache.load(
-                workload.name, workload.inputs, self.config, fingerprint
+    def _record_stage(self, workloads: Sequence[Workload]) -> List[_Recording]:
+        """Stage 1+2: record every workload (and detect its races) as a queue."""
+        results: List[Optional[_Recording]] = [None] * len(workloads)
+        config_data = self.config.to_dict()
+        payloads: List[Dict] = []
+        indices: List[int] = []
+        fingerprints: Dict[int, str] = {}
+        for index, workload in enumerate(workloads):
+            if self.cache is not None:
+                fingerprint = self.cache.program_fingerprint(workload.program)
+                fingerprints[index] = fingerprint
+                cached = self.cache.load(
+                    workload.name, workload.inputs, self.config, fingerprint
+                )
+                if cached is not None:
+                    GLOBAL_STATS.trace_cache_hits += 1
+                    results[index] = _Recording(workload, cached, 0.0, True, fingerprint)
+                    continue
+            payloads.append(
+                RecordTask(
+                    workload=workload.name,
+                    inputs=dict(workload.inputs),
+                    config=config_data,
+                    # Attach the actual program: the batch may contain
+                    # what-if variants that differ from the registry build.
+                    program=workload.program,
+                ).to_payload()
             )
-            if cached is not None:
-                return cached, 0.0, True
-        portend = Portend(
-            workload.program, config=self.config, predicates=list(workload.predicates)
-        )
-        started = time.perf_counter()
-        trace = portend.record(workload.inputs)
-        detection_seconds = time.perf_counter() - started
-        if self.cache is not None:
-            self.cache.store(
-                workload.name, workload.inputs, self.config, trace, fingerprint
+            indices.append(index)
+
+        for index, output in zip(indices, self._dispatch(payloads, execute_record_task)):
+            workload = workloads[index]
+            trace = ExecutionTrace.from_dict(output["trace"])
+            GLOBAL_STATS.traces_recorded += 1
+            if self.cache is not None:
+                self.cache.store(
+                    workload.name, workload.inputs, self.config, trace, fingerprints[index]
+                )
+            results[index] = _Recording(
+                workload,
+                trace,
+                output["detection_seconds"],
+                False,
+                fingerprints.get(index, ""),
             )
-        return trace, detection_seconds, False
+        return results
 
     # ---------------------------------------------------------------- pipeline
 
@@ -105,7 +199,7 @@ class AnalysisEngine:
         names: Optional[Sequence[str]] = None,
         include_micro: bool = True,
     ) -> List[EngineRun]:
-        """Run the batched pipeline over named workloads (default: Table 1)."""
+        """Run the staged pipeline over named workloads (default: Table 1)."""
         if names is None:
             workloads = all_workloads(include_micro=include_micro)
         else:
@@ -113,75 +207,265 @@ class AnalysisEngine:
         return self.analyze_workloads(workloads)
 
     def analyze_workloads(self, workloads: Sequence[Workload]) -> List[EngineRun]:
-        """Record every workload, then classify all races as one work queue."""
+        """Record every workload, then classify all races as staged queues."""
+        recordings = self._record_stage(workloads)
+        return self._classification_stage(recordings)
+
+    # ---------------------------------------------------------------- stage 3
+
+    def effective_granularity(self) -> str:
+        """The stage-3 granularity actually in effect for this engine.
+
+        ``auto`` resolves to per-path tasks only when a pool is in use: a
+        path task re-derives its primary path (redundant exploration), which
+        buys intra-race parallelism across workers but is pure overhead on
+        the serial in-process path.  When an earlier stage's dispatch already
+        found the pool unusable (spawn failure, unpicklable payloads), auto
+        downgrades to race granularity rather than paying the per-path
+        overhead on the serial fallback -- best-effort, since a fully
+        trace-cached run dispatches nothing before classification.
+        """
+        if self.options.granularity != "auto":
+            return self.options.granularity
+        if self._pool_unavailable:
+            return "race"
+        return "path" if self.options.parallel and self.options.parallel > 1 else "race"
+
+    def _classification_stage(self, recordings: Sequence[_Recording]) -> List[EngineRun]:
+        """Stage 3: classify every race of every recording."""
         from repro.core.portend import PortendResult
 
-        recordings: List[Tuple[Workload, ExecutionTrace, float, bool]] = []
-        payloads: List[Dict] = []
         config_data = self.config.to_dict()
-        for workload in workloads:
-            trace, detection_seconds, was_cached = self.record_trace(workload)
-            recordings.append((workload, trace, detection_seconds, was_cached))
-            trace_data = trace.to_dict()
+
+        # One classification slot per (workload, race), trace order.
+        slots: List[Dict[int, ClassifiedRace]] = [{} for _ in recordings]
+        cached_counts: List[int] = [0] * len(recordings)
+        contexts: List[Dict] = []
+        misses: List[Tuple[int, int, str]] = []  # (recording idx, race_id, cache key)
+
+        for index, recording in enumerate(recordings):
+            workload = recording.workload
             predicates = list(workload.predicates)
             if self.options.use_semantic_predicates:
                 predicates += list(workload.semantic_predicates)
-            for race in trace.races:
-                payloads.append(
-                    ClassificationTask(
-                        workload=workload.name,
-                        race_id=race.race_id,
-                        trace=trace_data,
-                        config=config_data,
-                        use_semantic_predicates=self.options.use_semantic_predicates,
-                        # Attach the actual program: the batch may contain
-                        # what-if variants that differ from the registry build.
-                        program=workload.program,
-                        predicates=tuple(predicates),
-                    ).to_payload()
+            contexts.append({"predicates": tuple(predicates)})
+            program_fingerprint = ""
+            predicate_fingerprint = ""
+            if self.classification_cache is not None:
+                # The record stage already hashed this program; only compute
+                # when the recording predates fingerprinting (no trace cache).
+                program_fingerprint = recording.program_fingerprint or (
+                    TraceCache.program_fingerprint(workload.program)
                 )
+                predicate_fingerprint = ClassificationCache.predicate_fingerprint(predicates)
+            for race in recording.trace.races:
+                key = ""
+                if self.classification_cache is not None:
+                    key = ClassificationCache.key(
+                        workload.name,
+                        workload.inputs,
+                        self.config,
+                        race.race_id,
+                        program_fingerprint=program_fingerprint,
+                        use_semantic_predicates=self.options.use_semantic_predicates,
+                        predicate_fingerprint=predicate_fingerprint,
+                    )
+                    cached = self.classification_cache.load(workload.name, key)
+                    if cached is not None:
+                        GLOBAL_STATS.classification_cache_hits += 1
+                        cached_counts[index] += 1
+                        slots[index][race.race_id] = cached
+                        continue
+                misses.append((index, race.race_id, key))
 
-        classified = iter(self._dispatch(payloads))
+        # Serialize traces lazily: only workloads with at least one cache
+        # miss pay for the wire format.  A fully warm run serializes nothing.
+        # The token lets task executors share one deserialization per trace.
+        for index in {index for index, _race_id, _key in misses}:
+            contexts[index]["trace_data"] = recordings[index].trace.to_dict()
+            contexts[index]["trace_token"] = f"{os.getpid()}:{next(_TRACE_TOKENS)}"
 
-        # Task results come back in queue order, which interleaves nothing:
-        # payloads were appended workload-by-workload, race-by-race.
+        granularity = self.effective_granularity()
+        if granularity == "path" and self.options.granularity == "auto":
+            # A path fan-out only pays off if the pool will actually run it.
+            # Record payloads carry no predicates, so the record stage cannot
+            # have probed the closure-bearing classification payloads; probe
+            # one (program, predicates) pair per missing workload here and
+            # downgrade to race granularity when the pool would refuse them.
+            if not all(
+                _picklable(
+                    recordings[index].workload.program, contexts[index]["predicates"]
+                )
+                for index in {index for index, _race_id, _key in misses}
+            ):
+                granularity = "race"
+
+        if granularity == "race":
+            self._classify_whole_races(recordings, contexts, misses, slots, config_data)
+        else:
+            self._classify_per_path(recordings, contexts, misses, slots, config_data)
+
         runs: List[EngineRun] = []
-        for workload, trace, detection_seconds, was_cached in recordings:
-            result = PortendResult(program=trace.program, trace=trace)
-            result.detection_seconds = detection_seconds
-            for _race in trace.races:
-                result.classified.append(ClassifiedRace.from_dict(next(classified)))
+        for index, recording in enumerate(recordings):
+            result = PortendResult(program=recording.trace.program, trace=recording.trace)
+            result.detection_seconds = recording.detection_seconds
+            result.classified = [
+                slots[index][race.race_id] for race in recording.trace.races
+            ]
             result.classification_seconds = sum(
                 item.analysis_seconds for item in result.classified
             )
-            runs.append(EngineRun(workload=workload, result=result, trace_cached=was_cached))
+            runs.append(
+                EngineRun(
+                    workload=recording.workload,
+                    result=result,
+                    trace_cached=recording.cached,
+                    classifications_cached=cached_counts[index],
+                )
+            )
         return runs
+
+    def _task_payload(
+        self, task_cls, recordings, contexts, config_data, index: int, race_id: int,
+        **extra,
+    ) -> Dict:
+        """Build one stage-3 task payload (shared by both granularities).
+
+        The single place the per-race task fields are assembled, so the
+        race-granularity and path-granularity queues cannot drift apart.
+        """
+        return task_cls(
+            workload=recordings[index].workload.name,
+            race_id=race_id,
+            trace=contexts[index]["trace_data"],
+            config=config_data,
+            use_semantic_predicates=self.options.use_semantic_predicates,
+            program=recordings[index].workload.program,
+            predicates=contexts[index]["predicates"],
+            trace_token=contexts[index]["trace_token"],
+            **extra,
+        ).to_payload()
+
+    def _store_classification(
+        self, name: str, index: int, race_id: int, key: str,
+        classified: ClassifiedRace, slots,
+    ) -> None:
+        GLOBAL_STATS.classifications_computed += 1
+        if self.classification_cache is not None and key:
+            self.classification_cache.store(name, key, classified)
+        slots[index][race_id] = classified
+
+    def _classify_whole_races(
+        self, recordings, contexts, misses, slots, config_data
+    ) -> None:
+        """Stage 3 at race granularity: one ClassificationTask per race."""
+        payloads = [
+            self._task_payload(
+                ClassificationTask, recordings, contexts, config_data, index, race_id
+            )
+            for index, race_id, _key in misses
+        ]
+        for (index, race_id, key), data in zip(
+            misses, self._dispatch(payloads, execute_task)
+        ):
+            self._store_classification(
+                recordings[index].workload.name,
+                index,
+                race_id,
+                key,
+                ClassifiedRace.from_dict(data),
+                slots,
+            )
+
+    def _classify_per_path(
+        self, recordings, contexts, misses, slots, config_data
+    ) -> None:
+        """Stage 3 at (race, primary-path) granularity: plan → paths → merge."""
+        plan_payloads = [
+            self._task_payload(
+                PlanTask, recordings, contexts, config_data, index, race_id
+            )
+            for index, race_id, _key in misses
+        ]
+        plans = list(self._dispatch(plan_payloads, execute_plan_task))
+
+        # Fan inconclusive races out into one PathTask per primary path.
+        path_payloads: List[Dict] = []
+        path_refs: List[Tuple[int, int]] = []
+        for (index, race_id, _key), plan in zip(misses, plans):
+            if not plan["needs_paths"]:
+                continue
+            for path_index in range(plan["path_count"]):
+                path_payloads.append(
+                    self._task_payload(
+                        PathTask,
+                        recordings,
+                        contexts,
+                        config_data,
+                        index,
+                        race_id,
+                        path_index=path_index,
+                    )
+                )
+                path_refs.append((index, race_id))
+
+        partials: Dict[Tuple[int, int], List[Dict]] = {}
+        for ref, output in zip(path_refs, self._dispatch(path_payloads, execute_path_task)):
+            partials.setdefault(ref, []).append(output)
+
+        # Deterministic merge: recombine partial verdicts in path order.
+        races_by_id = {
+            index: recordings[index].trace.races_by_id()
+            for index in {index for index, _race_id, _key in misses}
+        }
+        for (index, race_id, key), plan in zip(misses, plans):
+            race = races_by_id[index][race_id]
+            outcome = SingleStageOutcome.from_dict(plan["single"])
+            if not plan["needs_paths"]:
+                classified = finalize_single(race, outcome, self.config, plan["seconds"])
+            else:
+                outputs = sorted(
+                    partials.get((index, race_id), ()), key=lambda o: o["path_index"]
+                )
+                verdicts = [PathVerdict.from_dict(o["verdict"]) for o in outputs]
+                multi = merge_path_verdicts(
+                    verdicts,
+                    paths_explored=plan["path_count"],
+                    states_pruned=plan["states_pruned"],
+                    prune_reasons=plan["prune_reasons"],
+                )
+                elapsed = plan["seconds"] + sum(o["seconds"] for o in outputs)
+                classified = finalize_multipath(race, outcome, multi, self.config, elapsed)
+            self._store_classification(
+                recordings[index].workload.name, index, race_id, key, classified, slots
+            )
 
     # ---------------------------------------------------------------- dispatch
 
-    def _dispatch(self, payloads: Sequence[Dict]) -> List[Dict]:
-        """Run the work queue, in a process pool or serially in-process."""
+    def _dispatch(self, payloads: Sequence[Dict], worker: Callable) -> List[Dict]:
+        """Run one stage's work queue, in a process pool or serially in-process."""
+        if not payloads:
+            return []
         workers = self.options.parallel
         # Probe one payload per workload for picklability: payloads of the
         # same workload share their program/predicates/trace objects, so one
         # representative suffices (a custom predicate closure would fail).
         representatives = list({p["workload"]: p for p in payloads}.values())
-        if (
-            workers
-            and workers > 1
-            and len(payloads) > 1
-            and all(_picklable(p) for p in representatives)
-        ):
-            try:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    chunk = max(1, len(payloads) // (workers * 4))
-                    return list(pool.map(execute_task, payloads, chunksize=chunk))
-            except (BrokenProcessPool, OSError):
-                # Pool unavailable (restricted environment, spawn failure):
-                # fall back to the serial path, which runs the same task code.
-                # Genuine classification errors re-raise; they are not caught.
-                pass
-        return [execute_task(payload) for payload in payloads]
+        if workers and workers > 1 and len(payloads) > 1:
+            if all(_picklable(p) for p in representatives):
+                try:
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        chunk = max(1, len(payloads) // (workers * 4))
+                        return list(pool.map(worker, payloads, chunksize=chunk))
+                except (BrokenProcessPool, OSError):
+                    # Pool unavailable (restricted environment, spawn
+                    # failure): fall back to the serial path, which runs the
+                    # same task code.  Genuine analysis errors re-raise;
+                    # they are not caught.
+                    self._pool_unavailable = True
+            else:
+                self._pool_unavailable = True
+        return [worker(payload) for payload in payloads]
 
 
 def classify_races_parallel(

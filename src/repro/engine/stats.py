@@ -1,0 +1,51 @@
+"""Process-wide counters for the analysis engine's pipeline stages.
+
+The counters answer the operational questions the caches raise: how many
+traces were actually re-recorded, and how many races were actually
+re-classified?  A fully warm run reports ``classifications computed=0`` --
+the CI warm-cache job asserts exactly that string on the second of two
+identically-configured ``python -m repro.experiments all --cache-dir D``
+invocations.
+
+The stats are a module-level aggregate (one experiment invocation builds
+many short-lived :class:`AnalysisEngine` instances -- one per ablation
+config -- and the interesting number is the total across all of them).  All
+counting happens in the driving process: pool workers never touch these
+counters, the engine increments them as it dispatches and collects tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EngineStats:
+    """Counters for one process's engine activity."""
+
+    #: executions recorded (trace-cache misses)
+    traces_recorded: int = 0
+    #: recordings served from the trace cache
+    trace_cache_hits: int = 0
+    #: races classified by running the analysis (classification-cache misses)
+    classifications_computed: int = 0
+    #: classifications served from the classification cache
+    classification_cache_hits: int = 0
+
+    def reset(self) -> None:
+        self.traces_recorded = 0
+        self.trace_cache_hits = 0
+        self.classifications_computed = 0
+        self.classification_cache_hits = 0
+
+    def summary(self) -> str:
+        return (
+            f"engine stats: traces recorded={self.traces_recorded}, "
+            f"trace-cache hits={self.trace_cache_hits}, "
+            f"classifications computed={self.classifications_computed}, "
+            f"classification-cache hits={self.classification_cache_hits}"
+        )
+
+
+#: the process-wide aggregate, reset by ``python -m repro.experiments``
+GLOBAL_STATS = EngineStats()

@@ -1,30 +1,35 @@
-"""Work items for the parallel analysis engine.
+"""Work items for the staged parallel analysis engine.
 
-A :class:`ClassificationTask` is one ``(workload, race)`` unit of the
-detect→classify pipeline.  Task payloads are plain dicts whose leaves are
-JSON-serializable (the trace crosses the process boundary through
-``ExecutionTrace.to_dict``), so they pickle cheaply into
-``concurrent.futures`` worker processes and could equally be shipped over a
-network queue.
+Each pipeline stage has its own task granularity:
 
-Two worker entry points exist:
+* **Stage 1 (record + detect)** -- a :class:`RecordTask` records one
+  workload's execution (detection runs inline with the recording) and
+  returns the trace wire format;
+* **Stage 3, race granularity** -- a :class:`ClassificationTask` classifies
+  one ``(workload, race)`` unit end to end;
+* **Stage 3, path granularity** -- a :class:`PlanTask` runs the
+  single-pre/single-post stage for one race and counts its primary paths,
+  then one :class:`PathTask` per ``(race, primary-path)`` analyzes a single
+  primary and returns a partial :class:`~repro.core.multi_path.PathVerdict`;
+  the engine's deterministic merge recombines them.
 
-* :func:`execute_task` rebuilds the workload from the registry by name --
-  the normal batch path, fully JSON-clean;
-* :func:`execute_program_task` receives a pickled :class:`Program` (plus
-  predicates) directly -- used by ``Portend.classify_trace(parallel=N)`` for
-  programs that are not registered workloads.
+Task payloads are plain dicts whose leaves are JSON-serializable (the trace
+crosses the process boundary through ``ExecutionTrace.to_dict``), so they
+pickle cheaply into ``concurrent.futures`` worker processes and could
+equally be shipped over a network queue.  ``program``/``predicates`` travel
+by pickle when attached (see :class:`ClassificationTask`).
 
-Both return the classified race as a ``ClassifiedRace.to_dict()`` payload.
-Classification is deterministic per race (see
-:meth:`repro.core.config.PortendConfig.race_seed`), so the same task always
-produces the same classification no matter which process runs it.
+Every worker entry point is deterministic: recording uses the deterministic
+round-robin schedule, and every random decision during classification
+derives from :meth:`repro.core.config.PortendConfig.race_seed`, so the same
+task always produces the same result no matter which process runs it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import PortendConfig
 from repro.record_replay.trace import ExecutionTrace
@@ -50,6 +55,10 @@ class ClassificationTask:
     use_semantic_predicates: bool = False
     program: Optional[object] = None
     predicates: Optional[tuple] = None
+    #: parent-assigned token identifying this trace payload; tasks sharing a
+    #: token carry byte-identical trace dicts, letting the executing process
+    #: memoize the deserialized ExecutionTrace (see :func:`_resolve_trace`)
+    trace_token: Optional[str] = None
 
     def to_payload(self) -> Dict:
         payload = {
@@ -59,6 +68,8 @@ class ClassificationTask:
             "config": self.config,
             "use_semantic_predicates": self.use_semantic_predicates,
         }
+        if self.trace_token is not None:
+            payload["trace_token"] = self.trace_token
         if self.program is not None:
             payload["program"] = self.program
             payload["predicates"] = list(self.predicates or ())
@@ -75,36 +86,254 @@ class ClassificationTask:
             use_semantic_predicates=payload.get("use_semantic_predicates", False),
             program=payload.get("program"),
             predicates=tuple(predicates) if predicates is not None else None,
+            trace_token=payload.get("trace_token"),
         )
+
+
+#: executing-process memo of deserialized traces, keyed by trace token.
+#: Classification reads traces but never mutates them (the serial facade
+#: already shares one ExecutionTrace across every race it classifies), so
+#: the (race, path) tasks of one workload can share a single parse.  Bounded
+#: because the serial fallback runs tasks in the long-lived driving process.
+_TRACE_MEMO: Dict[str, ExecutionTrace] = {}
+_TRACE_MEMO_LIMIT = 4
+
+
+def _resolve_trace(task) -> ExecutionTrace:
+    """Deserialize the task's trace, memoized per trace token.
+
+    At path granularity one workload's trace fans out into ``races × (Mp+1)``
+    task payloads; without the memo every task would re-run
+    ``ExecutionTrace.from_dict`` on the identical dict.
+    """
+    token = task.trace_token
+    if token is not None:
+        cached = _TRACE_MEMO.get(token)
+        if cached is not None:
+            return cached
+    trace = ExecutionTrace.from_dict(task.trace)
+    if token is not None:
+        if len(_TRACE_MEMO) >= _TRACE_MEMO_LIMIT:
+            _TRACE_MEMO.clear()
+        _TRACE_MEMO[token] = trace
+    return trace
+
+
+def _resolve_program(task) -> Tuple[object, list]:
+    """The (program, predicates) pair a worker should analyze.
+
+    Uses the program attached to the payload when present, and otherwise
+    rebuilds the workload from the registry (model programs assign pcs
+    deterministically, so the rebuilt program matches the trace recorded in
+    the parent process).
+    """
+    from repro.workloads import load_workload
+
+    if task.program is not None:
+        return task.program, list(task.predicates or ())
+    workload = load_workload(task.workload)
+    predicates = list(workload.predicates)
+    if task.use_semantic_predicates:
+        predicates += list(workload.semantic_predicates)
+    return workload.program, predicates
 
 
 def execute_task(payload: Mapping) -> Dict:
     """Classify one race of a workload (worker entry point).
 
     Module-level so :class:`concurrent.futures.ProcessPoolExecutor` can
-    pickle it.  The worker uses the program attached to the payload when
-    present, and otherwise rebuilds the workload from the registry (model
-    programs assign pcs deterministically, so the rebuilt program matches
-    the trace recorded in the parent process).
+    pickle it.
     """
     from repro.core.portend import Portend
-    from repro.workloads import load_workload
 
     task = ClassificationTask.from_payload(payload)
-    if task.program is not None:
-        program = task.program
-        predicates = list(task.predicates or ())
-    else:
-        workload = load_workload(task.workload)
-        program = workload.program
-        predicates = list(workload.predicates)
-        if task.use_semantic_predicates:
-            predicates += list(workload.semantic_predicates)
+    program, predicates = _resolve_program(task)
     config = PortendConfig.from_dict(task.config)
-    trace = ExecutionTrace.from_dict(task.trace)
+    trace = _resolve_trace(task)
     portend = Portend(program, config=config, predicates=predicates)
     race = trace.race_by_id(task.race_id)
     return portend.classify_race(trace, race).to_dict()
+
+
+# --------------------------------------------------------------- Stage 1 task
+
+
+@dataclass(frozen=True)
+class RecordTask:
+    """One workload-recording work item (pipeline Stage 1).
+
+    Recording needs no predicates -- detection watches memory accesses, not
+    semantic properties -- so the payload is just the workload identity, its
+    inputs, and the recording-relevant config.  As with classification
+    tasks, the actual program is attached for correctness (the batch may
+    contain what-if variants differing from the registry build).
+    """
+
+    workload: str
+    inputs: Dict
+    config: Dict
+    program: Optional[object] = None
+
+    def to_payload(self) -> Dict:
+        payload = {
+            "workload": self.workload,
+            "inputs": dict(self.inputs),
+            "config": self.config,
+        }
+        if self.program is not None:
+            payload["program"] = self.program
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "RecordTask":
+        return cls(
+            workload=payload["workload"],
+            inputs=dict(payload["inputs"]),
+            config=payload["config"],
+            program=payload.get("program"),
+        )
+
+
+def execute_record_task(payload: Mapping) -> Dict:
+    """Record (and race-detect) one workload execution (worker entry point)."""
+    from repro.record_replay.recorder import record_program_trace
+    from repro.workloads import load_workload
+
+    task = RecordTask.from_payload(payload)
+    program = task.program
+    if program is None:
+        program = load_workload(task.workload).program
+    config = PortendConfig.from_dict(task.config)
+    trace, detection_seconds = record_program_trace(
+        program,
+        concrete_inputs=dict(task.inputs),
+        max_steps=config.max_steps_per_execution,
+    )
+    return {"trace": trace.to_dict(), "detection_seconds": detection_seconds}
+
+
+# --------------------------------------------------- Stage 3 per-path tasks
+
+
+@dataclass(frozen=True)
+class PlanTask(ClassificationTask):
+    """Per-race planning item: run Algorithm 1, count the primary paths.
+
+    Same payload shape as a :class:`ClassificationTask` (it addresses the
+    same ``(workload, race)`` unit); only the worker entry point differs.
+    The plan decides how the rest of the race's classification is
+    distributed: a conclusive single stage needs no further tasks, an
+    inconclusive one fans out into ``path_count`` :class:`PathTask` items.
+    The plan also owns the exploration diagnostics (pruned-state counts and
+    reasons), which the per-path workers do not repeat.
+    """
+
+
+def execute_plan_task(payload: Mapping) -> Dict:
+    """Run the single stage for one race and plan its path fan-out."""
+    from repro.core.classifier import needs_multipath, run_single_stage
+    from repro.core.portend import Portend
+    from repro.explore.paths import MultiPathExplorer
+
+    task = PlanTask.from_payload(payload)
+    program, predicates = _resolve_program(task)
+    config = PortendConfig.from_dict(task.config)
+    trace = _resolve_trace(task)
+    portend = Portend(program, config=config, predicates=predicates)
+    race = trace.race_by_id(task.race_id)
+
+    started = time.perf_counter()
+    outcome = run_single_stage(
+        portend.executor, portend.program, trace, race, config, predicates=predicates
+    )
+    plan = {
+        "race_id": task.race_id,
+        "single": outcome.to_dict(),
+        "needs_paths": False,
+        "path_count": 0,
+        "states_pruned": 0,
+        "prune_reasons": [],
+    }
+    if needs_multipath(outcome, config):
+        explorer = MultiPathExplorer.for_config(
+            portend.executor, portend.program, trace, race, config
+        )
+        primaries = explorer.explore()
+        plan.update(
+            needs_paths=True,
+            path_count=len(primaries),
+            states_pruned=explorer.states_pruned,
+            prune_reasons=list(explorer.prune_reasons),
+        )
+    plan["seconds"] = time.perf_counter() - started
+    return plan
+
+
+@dataclass(frozen=True)
+class PathTask(ClassificationTask):
+    """One ``(race, primary-path)`` work item: the engine's finest grain.
+
+    A :class:`ClassificationTask` narrowed to a single primary path.  The
+    worker re-derives the primary deterministically (see
+    :func:`repro.explore.paths.explore_primary` for the prefix property that
+    makes ``path_index`` sufficient) and returns the partial verdict; the
+    engine's merge step recombines partial verdicts into a
+    ``ClassifiedRace`` bit-identical to the serial result.
+    """
+
+    path_index: int = 0
+
+    def to_payload(self) -> Dict:
+        payload = super().to_payload()
+        payload["path_index"] = self.path_index
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "PathTask":
+        base = super().from_payload(payload)
+        return replace(base, path_index=payload["path_index"])
+
+
+def execute_path_task(payload: Mapping) -> Dict:
+    """Analyze one primary path of one race (worker entry point)."""
+    from repro.core.multi_path import analyze_primary_path
+    from repro.core.portend import Portend
+    from repro.explore.paths import explore_primary
+
+    task = PathTask.from_payload(payload)
+    program, predicates = _resolve_program(task)
+    config = PortendConfig.from_dict(task.config)
+    trace = _resolve_trace(task)
+    portend = Portend(program, config=config, predicates=predicates)
+    race = trace.race_by_id(task.race_id)
+
+    started = time.perf_counter()
+    path = explore_primary(
+        portend.executor, portend.program, trace, race, config, task.path_index
+    )
+    if path is None:
+        # Deterministic exploration makes the plan's path count binding; a
+        # disagreement means non-determinism crept in -- fail loudly rather
+        # than silently dropping a primary path from the verdict.
+        raise RuntimeError(
+            f"exploration of race {task.race_id} in {task.workload!r} yielded no "
+            f"primary path at index {task.path_index}"
+        )
+    verdict = analyze_primary_path(
+        portend.executor,
+        portend.program,
+        trace,
+        race,
+        config,
+        path,
+        predicates=predicates,
+    )
+    return {
+        "race_id": task.race_id,
+        "path_index": task.path_index,
+        "verdict": verdict.to_dict(),
+        "seconds": time.perf_counter() - started,
+    }
 
 
 def execute_program_task(

@@ -65,9 +65,28 @@ def main(argv=None) -> int:
         help="comma-separated workload subset for the shared-run experiments "
         "(table3/table4/table5/fig9); default: the full Table 1 list",
     )
+    parser.add_argument(
+        "--task-granularity",
+        default="auto",
+        choices=["auto", "race", "path"],
+        dest="granularity",
+        help="classification task grain: 'race' = one task per (workload, race), "
+        "'path' = one task per (race, primary-path); 'auto' picks 'path' when "
+        "--parallel > 1 and 'race' serially",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine cache/recompute counters after the experiments "
+        "(always printed when --cache-dir is given)",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    from repro.engine.stats import GLOBAL_STATS
+
+    GLOBAL_STATS.reset()
 
     shared_runs = None
     if any(name in _RUNS_CAPABLE for name in names):
@@ -83,6 +102,7 @@ def main(argv=None) -> int:
             measure_plain_time="table4" in names,
             parallel=args.parallel,
             cache_dir=args.cache_dir,
+            granularity=args.granularity,
         )
 
     for name in names:
@@ -91,12 +111,20 @@ def main(argv=None) -> int:
             result = module.run(runs=shared_runs, **kwargs)
         elif name in _ENGINE_FLAG_CAPABLE:
             result = module.run(
-                parallel=args.parallel, cache_dir=args.cache_dir, **kwargs
+                parallel=args.parallel,
+                cache_dir=args.cache_dir,
+                granularity=args.granularity,
+                **kwargs,
             )
         else:
             result = module.run(**kwargs)
         print(module.render(result))
         print()
+
+    if args.stats or args.cache_dir:
+        # One line the warm-cache CI job can assert on: a second identically
+        # configured run must report "classifications computed=0".
+        print(GLOBAL_STATS.summary())
     return 0
 
 

@@ -26,6 +26,7 @@ def run(
     base_config: Optional[PortendConfig] = None,
     parallel: int = 0,
     cache_dir: Optional[str] = None,
+    granularity: str = "auto",
 ) -> Fig10Result:
     base = base_config or PortendConfig()
     result = Fig10Result()
@@ -35,7 +36,11 @@ def run(
             workload = load_workload(name)
             config = base.with_k(k)
             run_ = analyze_workload(
-                workload, config=config, parallel=parallel, cache_dir=cache_dir
+                workload,
+                config=config,
+                parallel=parallel,
+                cache_dir=cache_dir,
+                granularity=granularity,
             )
             score = score_workload(workload, run_.result.classified)
             result.accuracy[name][k] = score.accuracy

@@ -39,6 +39,7 @@ def run(
     programs: Sequence[str] = PROGRAMS,
     parallel: int = 0,
     cache_dir: Optional[str] = None,
+    granularity: str = "auto",
 ) -> Fig7Result:
     base = base_config or PortendConfig()
     result = Fig7Result()
@@ -47,7 +48,11 @@ def run(
         for technique, config in _configs(base).items():
             workload = load_workload(name)
             run_ = analyze_workload(
-                workload, config=config, parallel=parallel, cache_dir=cache_dir
+                workload,
+                config=config,
+                parallel=parallel,
+                cache_dir=cache_dir,
+                granularity=granularity,
             )
             score = score_workload(workload, run_.result.classified)
             result.accuracy[name][technique] = score.accuracy

@@ -53,6 +53,7 @@ def _engine(
     use_semantic_predicates: bool,
     parallel: int,
     cache_dir: Optional[str],
+    granularity: str,
 ) -> AnalysisEngine:
     return AnalysisEngine(
         config=config,
@@ -60,6 +61,7 @@ def _engine(
             parallel=parallel,
             cache_dir=cache_dir,
             use_semantic_predicates=use_semantic_predicates,
+            granularity=granularity,
         ),
     )
 
@@ -94,9 +96,10 @@ def analyze_workload(
     measure_plain_time: bool = False,
     parallel: int = 0,
     cache_dir: Optional[str] = None,
+    granularity: str = "auto",
 ) -> WorkloadRun:
     """Run detection + classification for one workload."""
-    engine = _engine(config, use_semantic_predicates, parallel, cache_dir)
+    engine = _engine(config, use_semantic_predicates, parallel, cache_dir, granularity)
     engine_runs = engine.analyze_workloads([workload])
     return _wrap_runs(engine, engine_runs, use_semantic_predicates, measure_plain_time)[0]
 
@@ -109,16 +112,19 @@ def analyze_all(
     measure_plain_time: bool = False,
     parallel: int = 0,
     cache_dir: Optional[str] = None,
+    granularity: str = "auto",
 ) -> List[WorkloadRun]:
     """Run Portend over a set of workloads (default: the full Table 1 list).
 
-    ``parallel`` dispatches the whole batch's (workload, race) queue over a
-    process pool; ``cache_dir`` reuses recorded traces across invocations.
+    ``parallel`` dispatches the staged record/classify queues over a process
+    pool; ``cache_dir`` reuses recorded traces *and* classifications across
+    invocations; ``granularity`` picks the stage-3 task grain ("race",
+    "path", or "auto" -- see :class:`repro.engine.EngineOptions`).
     """
     if names is None:
         workloads = all_workloads(include_micro=include_micro)
     else:
         workloads = [load_workload(name) for name in names]
-    engine = _engine(config, use_semantic_predicates, parallel, cache_dir)
+    engine = _engine(config, use_semantic_predicates, parallel, cache_dir, granularity)
     engine_runs = engine.analyze_workloads(workloads)
     return _wrap_runs(engine, engine_runs, use_semantic_predicates, measure_plain_time)

@@ -43,6 +43,7 @@ def run(
     config: Optional[PortendConfig] = None,
     parallel: int = 0,
     cache_dir: Optional[str] = None,
+    granularity: str = "auto",
 ) -> List[Table2Row]:
     config = config or PortendConfig()
     rows: List[Table2Row] = []
@@ -54,7 +55,11 @@ def run(
             # an intentionally removed synchronisation operation (§5.1).
             workload = build_memcached(remove_slab_lock=True)
         run_result = analyze_workload(
-            workload, config=config, parallel=parallel, cache_dir=cache_dir
+            workload,
+            config=config,
+            parallel=parallel,
+            cache_dir=cache_dir,
+            granularity=granularity,
         )
         classified = run_result.result.classified
         rows.append(
@@ -77,6 +82,7 @@ def run(
         use_semantic_predicates=True,
         parallel=parallel,
         cache_dir=cache_dir,
+        granularity=granularity,
     )
     rows.insert(
         3,

@@ -104,6 +104,40 @@ class MultiPathExplorer:
         #: :class:`repro.runtime.scheduler.ReplayPolicy` diagnostics)
         self.prune_reasons: List[str] = []
 
+    @classmethod
+    def for_config(
+        cls,
+        executor: Executor,
+        program: Program,
+        trace: ExecutionTrace,
+        race: RaceReport,
+        config,
+        max_primaries: Optional[int] = None,
+    ) -> "MultiPathExplorer":
+        """Build an explorer from a :class:`PortendConfig`.
+
+        The single place that maps config knobs onto explorer arguments:
+        the serial classifier, the engine's plan task, and the per-path
+        re-derivation all construct their explorers here, so a future
+        exploration knob cannot silently diverge between them (which would
+        break the plan/worker path-count agreement).  ``config`` is untyped
+        to keep :mod:`repro.explore` import-independent from
+        :mod:`repro.core`.
+        """
+        return cls(
+            executor,
+            program,
+            trace,
+            race,
+            solver=executor.solver,
+            max_primaries=(
+                config.effective_mp() if max_primaries is None else max_primaries
+            ),
+            max_states=config.max_explored_states,
+            max_steps_per_state=config.max_steps_per_execution,
+            symbolic_input_limit=config.symbolic_inputs,
+        )
+
     # -------------------------------------------------------------- symbolic
 
     def symbolic_input_names(self) -> List[str]:
@@ -205,3 +239,41 @@ class MultiPathExplorer:
             elif name not in inputs:
                 inputs[name] = var.lo
         return inputs
+
+
+def explore_primary(
+    executor: Executor,
+    program: Program,
+    trace: ExecutionTrace,
+    race: RaceReport,
+    config,
+    path_index: int,
+) -> Optional[PrimaryPath]:
+    """Deterministically re-derive one primary path of a race's exploration.
+
+    The explorer's search is breadth-first over a deterministic worklist
+    (states pop in FIFO order, forks append in creation order), so the
+    primaries found with ``max_primaries = n`` are exactly the first ``n``
+    primaries of a larger exploration -- a *prefix property*.  A worker that
+    only needs path ``i`` can therefore stop the search at ``i + 1``
+    primaries instead of paying for the full ``Mp`` sweep; this is what the
+    engine's ``PathTask`` does.  Returns None when the exploration yields
+    fewer than ``path_index + 1`` primaries (the caller's plan disagrees with
+    this process, which deterministic exploration rules out in practice).
+
+    ``config`` is a :class:`repro.core.config.PortendConfig`; it is untyped
+    here to keep :mod:`repro.explore` import-independent from
+    :mod:`repro.core`.
+    """
+    explorer = MultiPathExplorer.for_config(
+        executor,
+        program,
+        trace,
+        race,
+        config,
+        max_primaries=min(config.effective_mp(), path_index + 1),
+    )
+    primaries = explorer.explore()
+    if len(primaries) <= path_index:
+        return None
+    return primaries[path_index]

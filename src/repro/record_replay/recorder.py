@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.detection.happens_before import HappensBeforeDetector
@@ -71,3 +72,32 @@ def record_execution(
     trace.preemption_points = state.preemption_points
     trace.outcome = state.outcome.kind.value if state.outcome else result.status.value
     return trace, state, result
+
+
+def record_program_trace(
+    program: Program,
+    concrete_inputs: Optional[Dict[str, int]] = None,
+    max_steps: Optional[int] = None,
+    detector_ignore_mutexes: bool = False,
+) -> Tuple[ExecutionTrace, float]:
+    """Record one timed execution of a program: the engine's Stage-1 unit.
+
+    Recording is deterministic for a fixed ``(program, inputs)`` pair (the
+    round-robin recording schedule never consults an RNG), so the same call
+    produces the same trace whether it runs in the driving process or in a
+    pool worker.  Returns ``(trace, detection_seconds)``; detection (the
+    happens-before race analysis) happens inline with the recorded run, so
+    the timing covers the paper's full "record + detect" front half.
+    """
+    program = program if program.finalized else program.finalize()
+    executor = Executor(program)
+    detector = HappensBeforeDetector(ignore_mutexes=detector_ignore_mutexes)
+    started = time.perf_counter()
+    trace, _state, _result = record_execution(
+        program,
+        concrete_inputs=concrete_inputs,
+        executor=executor,
+        detector=detector,
+        max_steps=max_steps,
+    )
+    return trace, time.perf_counter() - started

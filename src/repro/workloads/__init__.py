@@ -20,6 +20,7 @@ from repro.workloads.base import GroundTruth, Workload
 from repro.workloads.registry import (
     MICRO_BENCHMARKS,
     REAL_WORLD_APPLICATIONS,
+    SYNTHETIC_BENCHMARKS,
     all_workload_names,
     all_workloads,
     load_workload,
@@ -30,6 +31,7 @@ __all__ = [
     "Workload",
     "MICRO_BENCHMARKS",
     "REAL_WORLD_APPLICATIONS",
+    "SYNTHETIC_BENCHMARKS",
     "all_workload_names",
     "all_workloads",
     "load_workload",

@@ -1,0 +1,73 @@
+"""Synthetic stress workload: one program, hundreds of distinct races.
+
+The paper's workload set tops out at 19 distinct races per program
+(memcached, Table 3), which leaves a per-race work queue starved on wide
+machines and makes parallel speedups hard to see in CI.  ``stress`` is the
+opposite shape: a single recording whose trace contains ``races`` distinct
+write-write races (two unsynchronised writer threads storing the same value
+into ``races`` disjoint globals -- the RW "redundant writes" pattern of §5
+replicated per slot), so the classification stage alone fans out into
+hundreds of independent tasks.
+
+Every race is "k-witness harmless" by construction: both writers store the
+same constant and the program output never reads the slots, so all
+orderings are equivalent.  That keeps the ground truth trivial while the
+engine still pays the full per-race exploration cost, which is exactly what
+a scheduler/cache benchmark wants.
+"""
+
+from __future__ import annotations
+
+from repro.core.categories import RaceClass
+from repro.lang.ast import glob, local
+from repro.lang.builder import ProgramBuilder
+from repro.workloads.base import GroundTruth, Workload
+
+#: distinct races in the registry build (``load_workload("stress")``)
+DEFAULT_RACES = 160
+
+
+def build_stress(races: int = DEFAULT_RACES) -> Workload:
+    """Build the stress workload with ``races`` distinct write-write races."""
+    if races < 1:
+        raise ValueError("stress workload needs at least one race")
+    b = ProgramBuilder("stress", language="C++")
+    for index in range(races):
+        b.global_var(f"slot_{index:04d}", 0)
+
+    # Two writer threads store the same constant into every slot, giving one
+    # distinct (variable-keyed) race per slot and no harmful consequence.
+    for thread_name, base_line in (("writer_a", 100), ("writer_b", 1000)):
+        writer = b.function(thread_name)
+        for index in range(races):
+            writer.assign(
+                glob(f"slot_{index:04d}"),
+                1,
+                label=f"stress.cpp:{base_line + index}",
+            )
+        writer.ret()
+
+    main = b.function("main")
+    main.spawn("t1", "writer_a", label="stress.cpp:20")
+    main.spawn("t2", "writer_b", label="stress.cpp:21")
+    main.join(local("t1"))
+    main.join(local("t2"))
+    main.output("stdout", [1], label="stress.cpp:24")
+    main.ret()
+
+    return Workload(
+        name="stress",
+        program=b.build(),
+        description=f"synthetic stress: {races} distinct redundant-write races",
+        paper_loc=0,
+        paper_language="C++",
+        paper_forked_threads=3,
+        expected_distinct_races=races,
+        is_micro_benchmark=True,
+        ground_truth={
+            f"slot_{index:04d}": GroundTruth(
+                f"slot_{index:04d}", RaceClass.K_WITNESS_HARMLESS
+            )
+            for index in range(races)
+        },
+    )
