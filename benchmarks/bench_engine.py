@@ -1,29 +1,45 @@
 """Benchmark: the staged analysis engine (serial vs parallel, cold vs warm).
 
-Runs the Table 1 workload list *plus* the synthetic ``stress`` workload
-(hundreds of distinct races in one trace, the shape that exercises
-intra-workload parallelism) through the engine three ways:
+Runs the Table 1 workload list *plus* the synthetic ``stress`` (hundreds of
+distinct races in one trace) and ``stress_deep`` (many primary paths per
+race) workloads through the engine three ways:
 
 1. serially at race granularity (the reference),
 2. over a process pool at ``(race, primary-path)`` granularity,
 3. twice against a shared cache directory (cold, then warm -- the warm run
    must classify nothing).
 
-Classifications are verified bit-identical across all modes.  The speedup
+Two A/B comparisons quantify the hot-path optimizations:
+
+* **path mode** -- shipped primaries vs ``explore_primary`` re-derivation
+  at path granularity (wall time plus the shipped/re-explored counters;
+  shipped mode must perform **zero** re-explorations), and
+* **solver cache** -- the memoizing solver on vs off on ``stress_deep``
+  (wall time plus enumerated-assignment counts; the memo must cut
+  enumeration by at least 30%).
+
+Classifications are verified bit-identical across all modes.  Running the
+file directly emits a JSON artifact (``bench_engine.json``) with every
+number, which CI uploads next to the human-readable log.  The speedup
 assertion is gated on the host actually having more than one CPU: on a
 single core the pool only adds process-management overhead, which is
 exactly what the serial fallback exists for.
 """
 
+import json
 import os
 import tempfile
 import time
 
+import repro.symex.solver as solver_mod
 from repro.engine import AnalysisEngine, EngineOptions
 from repro.engine.stats import GLOBAL_STATS
 from repro.workloads import all_workload_names
 
 WORKERS = min(4, os.cpu_count() or 1)
+
+#: the subset exercising per-path fan-out (few races, many primaries each)
+PATH_MODE_NAMES = ["SQLite", "bbuf", "stress_deep"]
 
 
 def _signature(runs):
@@ -67,7 +83,7 @@ def run_comparison(names=None):
         warm_seconds = time.perf_counter() - started
         warm_classifications = GLOBAL_STATS.classifications_computed
 
-    return {
+    outcome = {
         "serial_runs": serial_runs,
         "serial_seconds": serial_seconds,
         "parallel_runs": parallel_runs,
@@ -76,6 +92,76 @@ def run_comparison(names=None):
         "warm_runs": warm_runs,
         "warm_seconds": warm_seconds,
         "warm_classifications": warm_classifications,
+    }
+    outcome["path_mode"] = run_path_mode_comparison()
+    outcome["solver_cache"] = run_solver_cache_comparison()
+    return outcome
+
+
+def run_path_mode_comparison(names=None):
+    """Shipped-primary vs re-explore path mode, serially (stable timings)."""
+    names = list(names) if names is not None else list(PATH_MODE_NAMES)
+
+    GLOBAL_STATS.reset()
+    started = time.perf_counter()
+    shipped_runs = AnalysisEngine(options=EngineOptions(granularity="path")).analyze(names)
+    shipped = {
+        "seconds": time.perf_counter() - started,
+        "primaries_shipped": GLOBAL_STATS.primaries_shipped,
+        "primaries_reexplored": GLOBAL_STATS.primaries_reexplored,
+        "solver_enumerated": GLOBAL_STATS.solver_assignments_enumerated,
+    }
+
+    GLOBAL_STATS.reset()
+    started = time.perf_counter()
+    reexplore_runs = AnalysisEngine(
+        options=EngineOptions(granularity="path", ship_primaries=False)
+    ).analyze(names)
+    reexplore = {
+        "seconds": time.perf_counter() - started,
+        "primaries_shipped": GLOBAL_STATS.primaries_shipped,
+        "primaries_reexplored": GLOBAL_STATS.primaries_reexplored,
+        "solver_enumerated": GLOBAL_STATS.solver_assignments_enumerated,
+    }
+
+    return {
+        "workloads": names,
+        "shipped": shipped,
+        "reexplore": reexplore,
+        "identical": _signature(shipped_runs) == _signature(reexplore_runs),
+        "speedup": (reexplore["seconds"] / shipped["seconds"]) if shipped["seconds"] else 0.0,
+    }
+
+
+def run_solver_cache_comparison(names=("stress_deep",)):
+    """The memoizing solver on vs off, serially on the deep-path workload."""
+    modes = {}
+    signatures = {}
+    for label, enabled in (("off", False), ("on", True)):
+        previous = solver_mod.set_cache_enabled_default(enabled)
+        try:
+            GLOBAL_STATS.reset()
+            started = time.perf_counter()
+            runs = AnalysisEngine().analyze(list(names))
+            modes[label] = {
+                "seconds": time.perf_counter() - started,
+                "solver_queries": GLOBAL_STATS.solver_queries,
+                "solver_cache_hits": GLOBAL_STATS.solver_cache_hits,
+                "solver_enumerated": GLOBAL_STATS.solver_assignments_enumerated,
+            }
+            signatures[label] = _signature(runs)
+        finally:
+            solver_mod.set_cache_enabled_default(previous)
+    enumerated_off = modes["off"]["solver_enumerated"]
+    enumerated_on = modes["on"]["solver_enumerated"]
+    return {
+        "workloads": list(names),
+        "off": modes["off"],
+        "on": modes["on"],
+        "identical": signatures["off"] == signatures["on"],
+        "enumeration_drop": (
+            (enumerated_off - enumerated_on) / enumerated_off if enumerated_off else 0.0
+        ),
     }
 
 
@@ -92,6 +178,8 @@ def render(outcome):
         if outcome["warm_seconds"]
         else float("inf")
     )
+    path_mode = outcome["path_mode"]
+    solver_cache = outcome["solver_cache"]
     lines = [
         "Engine benchmark: staged pipeline, serial vs parallel vs warm cache",
         f"{'workloads':<26} {len(serial_runs)}",
@@ -105,16 +193,52 @@ def render(outcome):
         f"{'warm cached run':<26} {outcome['warm_seconds']:.2f}s  "
         f"({outcome['warm_classifications']} classifications computed)",
         f"{'warm speedup':<26} {warm_speedup:.2f}x",
+        "",
+        f"Path mode ({', '.join(path_mode['workloads'])}):",
+        f"{'shipped primaries':<26} {path_mode['shipped']['seconds']:.2f}s  "
+        f"({path_mode['shipped']['primaries_shipped']} shipped, "
+        f"{path_mode['shipped']['primaries_reexplored']} re-explored)",
+        f"{'re-explore fallback':<26} {path_mode['reexplore']['seconds']:.2f}s  "
+        f"({path_mode['reexplore']['primaries_reexplored']} re-explored)",
+        f"{'shipping speedup':<26} {path_mode['speedup']:.2f}x",
+        "",
+        f"Solver cache ({', '.join(solver_cache['workloads'])}):",
+        f"{'cache off':<26} {solver_cache['off']['seconds']:.2f}s  "
+        f"({solver_cache['off']['solver_enumerated']} assignments enumerated)",
+        f"{'cache on':<26} {solver_cache['on']['seconds']:.2f}s  "
+        f"({solver_cache['on']['solver_enumerated']} assignments enumerated, "
+        f"{solver_cache['on']['solver_cache_hits']} hits)",
+        f"{'enumeration drop':<26} {solver_cache['enumeration_drop']:.1%}",
     ]
     return "\n".join(lines)
+
+
+def to_artifact(outcome):
+    """The JSON artifact CI uploads: every number, no live objects."""
+    return {
+        "workers": WORKERS,
+        "host_cpus": os.cpu_count(),
+        "workloads": [run.workload.name for run in outcome["serial_runs"]],
+        "distinct_races": sum(
+            len(run.result.classified) for run in outcome["serial_runs"]
+        ),
+        "serial_seconds": outcome["serial_seconds"],
+        "parallel_seconds": outcome["parallel_seconds"],
+        "cold_seconds": outcome["cold_seconds"],
+        "warm_seconds": outcome["warm_seconds"],
+        "warm_classifications": outcome["warm_classifications"],
+        "path_mode": outcome["path_mode"],
+        "solver_cache": outcome["solver_cache"],
+    }
 
 
 def verify(outcome):
     """Correctness gates, shared by the pytest entry point and __main__.
 
     Running the file directly (as the CI bench job does) must fail loudly if
-    per-path parallel classification ever diverges from serial or the warm
-    cache re-classifies.
+    per-path parallel classification ever diverges from serial, the warm
+    cache re-classifies, shipped-primary mode re-explores a prefix, or the
+    solver memo stops earning its keep.
     """
     assert _signature(outcome["serial_runs"]) == _signature(outcome["parallel_runs"])
     assert _signature(outcome["serial_runs"]) == _signature(outcome["warm_runs"])
@@ -127,6 +251,18 @@ def verify(outcome):
         )
     # A fully warm cache must skip classification entirely.
     assert outcome["warm_classifications"] == 0
+    # Shipped-primary mode performs zero redundant prefix explorations and
+    # stays bit-identical to the re-explore fallback.
+    path_mode = outcome["path_mode"]
+    assert path_mode["identical"]
+    assert path_mode["shipped"]["primaries_reexplored"] == 0
+    assert path_mode["shipped"]["primaries_shipped"] > 0
+    assert path_mode["reexplore"]["primaries_reexplored"] > 0
+    # The solver memo cuts enumeration by >= 30% on the deep-path workload
+    # without changing a single verdict.
+    solver_cache = outcome["solver_cache"]
+    assert solver_cache["identical"]
+    assert solver_cache["enumeration_drop"] >= 0.30, solver_cache
     if (os.cpu_count() or 1) > 1 and WORKERS > 1:
         # Real parallel hardware must beat the serial pipeline on a
         # multi-race batch (hundreds of independent tasks).
@@ -143,4 +279,6 @@ def test_engine_serial_vs_parallel(benchmark, once):
 if __name__ == "__main__":
     _outcome = run_comparison()
     print(render(_outcome))
+    with open("bench_engine.json", "w", encoding="utf-8") as _handle:
+        json.dump(to_artifact(_outcome), _handle, indent=2)
     verify(_outcome)

@@ -12,11 +12,12 @@
 * :mod:`repro.engine.stats` -- process-wide cache-hit/recompute counters.
 """
 
-from repro.engine.cache import ClassificationCache, TraceCache
+from repro.engine.cache import ClassificationCache, TraceCache, collect_cache_info
 from repro.engine.engine import (
     AnalysisEngine,
     EngineOptions,
     EngineRun,
+    choose_granularity,
     classify_races_parallel,
 )
 from repro.engine.stats import GLOBAL_STATS, EngineStats
@@ -35,6 +36,8 @@ __all__ = [
     "AnalysisEngine",
     "EngineOptions",
     "EngineRun",
+    "choose_granularity",
+    "collect_cache_info",
     "TraceCache",
     "ClassificationCache",
     "ClassificationTask",

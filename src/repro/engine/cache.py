@@ -20,6 +20,14 @@ Both halves of the pipeline are deterministic, so both are cacheable:
 Each cache mixes a format version into its keys so stale entries from older
 layouts are simply missed, never mis-parsed.  Both caches can share one
 directory: their file names use disjoint infixes.
+
+Lifecycle: both caches share the :class:`_DirectoryCache` housekeeping --
+an optional ``max_entries`` bound with least-recently-used eviction (every
+hit refreshes the entry's mtime, every store evicts the stalest overflow),
+a per-entry persisted hit counter (``<entry>.json.hits`` sidecars), and a
+``stored_at`` timestamp inside each entry.  ``collect_cache_info`` /
+``render_cache_info`` back the ``cache-info`` CLI subcommand, which dumps
+per-entry age and hit counts for a cache directory.
 """
 
 from __future__ import annotations
@@ -27,8 +35,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.core.categories import ClassifiedRace
 from repro.core.config import PortendConfig
@@ -194,13 +203,136 @@ def _atomic_write_json(cache_dir: Path, path: Path, payload: str) -> None:
     os.replace(tmp, path)
 
 
-class TraceCache:
-    """Directory-backed cache of recorded execution traces."""
+def _hits_path(path: Path) -> Path:
+    """Sidecar file persisting one entry's hit counter."""
+    return Path(str(path) + ".hits")
 
-    def __init__(self, cache_dir) -> None:
+
+def _read_hits(path: Path) -> int:
+    try:
+        return int(_hits_path(path).read_text())
+    except (OSError, ValueError):
+        return 0
+
+
+class _DirectoryCache:
+    """Shared housekeeping for the on-disk caches: bound, LRU order, info.
+
+    Both caches may share one directory; entry ownership is decided by the
+    ``-cls-`` file-name infix.  Recency is the entry file's mtime (bumped on
+    every hit), so LRU eviction needs no extra bookkeeping and survives
+    across processes.  All housekeeping is best-effort: a concurrently
+    deleted entry or an unwritable sidecar must never fail the analysis.
+    """
+
+    _CLS_INFIX = "-cls-"
+    #: "trace" or "classification"; also decides entry-file ownership
+    kind = ""
+
+    def __init__(self, cache_dir, max_entries: Optional[int] = None) -> None:
         self.cache_dir = Path(cache_dir)
         self.hits = 0
         self.misses = 0
+        self.max_entries = max_entries
+
+    # ----------------------------------------------------------- housekeeping
+
+    def _owns(self, path: Path) -> bool:
+        is_classification = self._CLS_INFIX in path.name
+        return is_classification if self.kind == "classification" else not is_classification
+
+    def _entries_by_recency(self) -> List[Path]:
+        """This cache's entry files, least recently used first."""
+        stamped = []
+        try:
+            candidates = list(self.cache_dir.glob("*.json"))
+        except OSError:
+            return []
+        for path in candidates:
+            if not self._owns(path):
+                continue
+            try:
+                stamped.append((path.stat().st_mtime, str(path)))
+            except OSError:
+                continue
+        return [Path(name) for _mtime, name in sorted(stamped)]
+
+    def _record_hit(self, path: Path) -> None:
+        """Persist the hit and refresh the entry's LRU recency."""
+        self.hits += 1
+        try:
+            count = _read_hits(path) + 1
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.hits.tmp")
+            tmp.write_text(str(count))
+            os.replace(tmp, _hits_path(path))
+            os.utime(path, None)
+        except OSError:
+            pass
+
+    def _evict_overflow(self) -> List[Path]:
+        """Drop least-recently-used entries beyond ``max_entries``."""
+        if self.max_entries is None:
+            return []
+        entries = self._entries_by_recency()
+        evicted: List[Path] = []
+        while len(entries) > self.max_entries:
+            victim = entries.pop(0)
+            try:
+                victim.unlink()
+                _hits_path(victim).unlink(missing_ok=True)
+            except OSError:
+                continue
+            evicted.append(victim)
+        return evicted
+
+    def info(self) -> List[Dict]:
+        """Per-entry metadata: file, age, persisted hits, size."""
+        now = time.time()
+        rows: List[Dict] = []
+        for path in self._entries_by_recency():
+            try:
+                stat = path.stat()
+                with open(path, "r", encoding="utf-8") as handle:
+                    stored_at = json.load(handle).get("stored_at", stat.st_mtime)
+            except (OSError, ValueError):
+                continue
+            rows.append(
+                {
+                    "file": path.name,
+                    "kind": self.kind,
+                    "age_seconds": max(0.0, now - float(stored_at)),
+                    "hits": _read_hits(path),
+                    "size_bytes": stat.st_size,
+                }
+            )
+        return rows
+
+
+def collect_cache_info(cache_dir) -> List[Dict]:
+    """Per-entry metadata for both cache layers sharing ``cache_dir``."""
+    return TraceCache(cache_dir).info() + ClassificationCache(cache_dir).info()
+
+
+def render_cache_info(rows: List[Dict]) -> str:
+    """Human-readable table backing the ``cache-info`` CLI subcommand."""
+    if not rows:
+        return "cache-info: no cache entries"
+    lines = [
+        f"cache-info: {len(rows)} entries",
+        f"{'kind':<16} {'age':>10} {'hits':>6} {'size':>10}  file",
+    ]
+    for row in sorted(rows, key=lambda r: (r["kind"], r["file"])):
+        lines.append(
+            f"{row['kind']:<16} {row['age_seconds']:>9.1f}s {row['hits']:>6} "
+            f"{row['size_bytes']:>9}B  {row['file']}"
+        )
+    return "\n".join(lines)
+
+
+class TraceCache(_DirectoryCache):
+    """Directory-backed cache of recorded execution traces."""
+
+    kind = "trace"
 
     # -------------------------------------------------------------------- key
 
@@ -265,7 +397,7 @@ class TraceCache:
             # run; the engine simply re-records (and overwrites the entry).
             self.misses += 1
             return None
-        self.hits += 1
+        self._record_hit(path)
         return trace
 
     def store(
@@ -279,12 +411,15 @@ class TraceCache:
         """Persist a recorded trace; returns the cache file path."""
         key = self.key(program, inputs, config, program_fingerprint)
         path = self._path(program, key)
-        payload = json.dumps({"key": key, "trace": trace.to_dict()})
+        payload = json.dumps(
+            {"key": key, "stored_at": time.time(), "trace": trace.to_dict()}
+        )
         _atomic_write_json(self.cache_dir, path, payload)
+        self._evict_overflow()
         return path
 
 
-class ClassificationCache:
+class ClassificationCache(_DirectoryCache):
     """Directory-backed cache of classified races (the pipeline's back half).
 
     Keys cover everything a classification depends on: the program *content*
@@ -295,10 +430,7 @@ class ClassificationCache:
     (both the ``use_semantic_predicates`` mode and the predicate names).
     """
 
-    def __init__(self, cache_dir) -> None:
-        self.cache_dir = Path(cache_dir)
-        self.hits = 0
-        self.misses = 0
+    kind = "classification"
 
     # -------------------------------------------------------------------- key
 
@@ -367,12 +499,15 @@ class ClassificationCache:
             # run; the engine simply re-classifies (and overwrites).
             self.misses += 1
             return None
-        self.hits += 1
+        self._record_hit(path)
         return classified
 
     def store(self, program: str, key: str, classified: ClassifiedRace) -> Path:
         """Persist a classification; returns the cache file path."""
         path = self._path(program, key)
-        payload = json.dumps({"key": key, "classified": classified.to_dict()})
+        payload = json.dumps(
+            {"key": key, "stored_at": time.time(), "classified": classified.to_dict()}
+        )
         _atomic_write_json(self.cache_dir, path, payload)
+        self._evict_overflow()
         return path

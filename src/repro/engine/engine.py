@@ -83,9 +83,40 @@ class EngineOptions:
     use_semantic_predicates: bool = False
     #: stage-3 task granularity: "race" classifies a whole race per task,
     #: "path" fans each race out into per-primary-path tasks, and "auto"
-    #: picks "path" when a pool is in use and "race" serially (per-path
-    #: tasks re-derive their primary, which only pays off across workers)
+    #: adapts per workload when a pool is in use (see
+    #: :func:`choose_granularity`) and stays at "race" serially
     granularity: str = "auto"
+    #: embed each plan's serialized primaries in its path tasks (the
+    #: default); False forces path tasks onto the ``explore_primary``
+    #: fallback, re-deriving every primary prefix -- kept as an A/B switch
+    #: for the benchmark harness and the equivalence tests
+    ship_primaries: bool = True
+    #: on-disk entry bound for each cache layer (LRU-evicted beyond it);
+    #: None means unbounded
+    cache_max_entries: Optional[int] = None
+
+
+def choose_granularity(distinct_races: int, workers: int) -> str:
+    """Pick a stage-3 grain for one workload from the batch shape.
+
+    Worker count alone is a bad signal: per-path tasks exist to keep a pool
+    busy, but a workload whose trace already contains more races than the
+    pool is wide gets all the concurrency it needs from per-race tasks, and
+    the path fan-out only adds plan/merge overhead.  The chooser therefore
+    keys on *distinct races per workload versus pool width*: an
+    ``experiments all --parallel N`` batch classifies SQLite-like workloads
+    (one race) at path granularity and stress-like workloads (hundreds of
+    races) at race granularity within the same run.
+
+    The 2x headroom factor keeps per-race tasks from merely matching the
+    pool width: with fewer than two waves of race tasks per worker, stragglers
+    leave the pool idle at the tail, which is exactly where path fan-out pays.
+    """
+    if workers is None or workers <= 1:
+        return "race"
+    if distinct_races >= 2 * workers:
+        return "race"
+    return "path"
 
 
 @dataclass
@@ -127,9 +158,17 @@ class AnalysisEngine:
                 f"unknown granularity {self.options.granularity!r}; "
                 f"expected one of {', '.join(GRANULARITIES)}"
             )
-        self.cache = TraceCache(self.options.cache_dir) if self.options.cache_dir else None
+        self.cache = (
+            TraceCache(self.options.cache_dir, max_entries=self.options.cache_max_entries)
+            if self.options.cache_dir
+            else None
+        )
         self.classification_cache = (
-            ClassificationCache(self.options.cache_dir) if self.options.cache_dir else None
+            ClassificationCache(
+                self.options.cache_dir, max_entries=self.options.cache_max_entries
+            )
+            if self.options.cache_dir
+            else None
         )
         #: set when a dispatch had to fall back to serial execution; lets
         #: "auto" granularity stop fanning out per-path work no pool will run
@@ -214,16 +253,17 @@ class AnalysisEngine:
     # ---------------------------------------------------------------- stage 3
 
     def effective_granularity(self) -> str:
-        """The stage-3 granularity actually in effect for this engine.
+        """The batch-independent stage-3 granularity for this engine.
 
-        ``auto`` resolves to per-path tasks only when a pool is in use: a
-        path task re-derives its primary path (redundant exploration), which
-        buys intra-race parallelism across workers but is pure overhead on
-        the serial in-process path.  When an earlier stage's dispatch already
-        found the pool unusable (spawn failure, unpicklable payloads), auto
-        downgrades to race granularity rather than paying the per-path
-        overhead on the serial fallback -- best-effort, since a fully
-        trace-cached run dispatches nothing before classification.
+        ``auto`` resolves to per-path tasks only when a pool is in use; the
+        classification stage then refines the choice *per workload* from the
+        batch shape (see :func:`choose_granularity`), so one batch can mix
+        path-granularity SQLite with race-granularity stress.  When an
+        earlier stage's dispatch already found the pool unusable (spawn
+        failure, unpicklable payloads), auto downgrades to race granularity
+        rather than paying the per-path overhead on the serial fallback --
+        best-effort, since a fully trace-cached run dispatches nothing
+        before classification.
         """
         if self.options.granularity != "auto":
             return self.options.granularity
@@ -285,25 +325,9 @@ class AnalysisEngine:
             contexts[index]["trace_data"] = recordings[index].trace.to_dict()
             contexts[index]["trace_token"] = f"{os.getpid()}:{next(_TRACE_TOKENS)}"
 
-        granularity = self.effective_granularity()
-        if granularity == "path" and self.options.granularity == "auto":
-            # A path fan-out only pays off if the pool will actually run it.
-            # Record payloads carry no predicates, so the record stage cannot
-            # have probed the closure-bearing classification payloads; probe
-            # one (program, predicates) pair per missing workload here and
-            # downgrade to race granularity when the pool would refuse them.
-            if not all(
-                _picklable(
-                    recordings[index].workload.program, contexts[index]["predicates"]
-                )
-                for index in {index for index, _race_id, _key in misses}
-            ):
-                granularity = "race"
-
-        if granularity == "race":
-            self._classify_whole_races(recordings, contexts, misses, slots, config_data)
-        else:
-            self._classify_per_path(recordings, contexts, misses, slots, config_data)
+        race_misses, path_misses = self._partition_misses(recordings, contexts, misses)
+        self._classify_whole_races(recordings, contexts, race_misses, slots, config_data)
+        self._classify_per_path(recordings, contexts, path_misses, slots, config_data)
 
         runs: List[EngineRun] = []
         for index, recording in enumerate(recordings):
@@ -324,6 +348,42 @@ class AnalysisEngine:
                 )
             )
         return runs
+
+    def _partition_misses(
+        self, recordings, contexts, misses
+    ) -> Tuple[List[Tuple[int, int, str]], List[Tuple[int, int, str]]]:
+        """Split the cache misses into (race-granularity, path-granularity).
+
+        Forced granularities send everything one way.  ``auto`` with a pool
+        picks per workload from the batch shape (:func:`choose_granularity`);
+        workloads whose classification payloads cannot pickle (custom
+        predicate closures) are kept at race granularity, since the path
+        fan-out they would buy cannot reach the pool anyway.  Record
+        payloads carry no predicates, so the record stage cannot have
+        probed the closure-bearing classification payloads -- the probe
+        happens here, once per candidate workload.
+        """
+        granularity = self.effective_granularity()
+        if granularity == "race":
+            return list(misses), []
+        if self.options.granularity != "auto":
+            return [], list(misses)
+        race_misses: List[Tuple[int, int, str]] = []
+        path_misses: List[Tuple[int, int, str]] = []
+        workers = self.options.parallel or 0
+        shippable: Dict[int, bool] = {}
+        for miss in misses:
+            index = miss[0]
+            races = len(recordings[index].trace.races)
+            if choose_granularity(races, workers) == "race":
+                race_misses.append(miss)
+                continue
+            if index not in shippable:
+                shippable[index] = _picklable(
+                    recordings[index].workload.program, contexts[index]["predicates"]
+                )
+            (path_misses if shippable[index] else race_misses).append(miss)
+        return race_misses, path_misses
 
     def _task_payload(
         self, task_cls, recordings, contexts, config_data, index: int, race_id: int,
@@ -368,12 +428,13 @@ class AnalysisEngine:
         for (index, race_id, key), data in zip(
             misses, self._dispatch(payloads, execute_task)
         ):
+            GLOBAL_STATS.absorb_solver(data.get("solver"))
             self._store_classification(
                 recordings[index].workload.name,
                 index,
                 race_id,
                 key,
-                ClassifiedRace.from_dict(data),
+                ClassifiedRace.from_dict(data["classified"]),
                 slots,
             )
 
@@ -388,14 +449,23 @@ class AnalysisEngine:
             for index, race_id, _key in misses
         ]
         plans = list(self._dispatch(plan_payloads, execute_plan_task))
+        for plan in plans:
+            GLOBAL_STATS.absorb_solver(plan.get("solver"))
 
-        # Fan inconclusive races out into one PathTask per primary path.
+        # Fan inconclusive races out into one PathTask per primary path,
+        # embedding the plan's serialized primary so the worker classifies
+        # from shipped data instead of re-exploring the BFS prefix.
+        ship = self.options.ship_primaries
         path_payloads: List[Dict] = []
         path_refs: List[Tuple[int, int]] = []
         for (index, race_id, _key), plan in zip(misses, plans):
             if not plan["needs_paths"]:
                 continue
+            primaries = plan.get("primaries") or []
             for path_index in range(plan["path_count"]):
+                extra: Dict = {"path_index": path_index}
+                if ship and path_index < len(primaries):
+                    extra["primary"] = primaries[path_index]
                 path_payloads.append(
                     self._task_payload(
                         PathTask,
@@ -404,13 +474,18 @@ class AnalysisEngine:
                         config_data,
                         index,
                         race_id,
-                        path_index=path_index,
+                        **extra,
                     )
                 )
                 path_refs.append((index, race_id))
 
         partials: Dict[Tuple[int, int], List[Dict]] = {}
         for ref, output in zip(path_refs, self._dispatch(path_payloads, execute_path_task)):
+            GLOBAL_STATS.absorb_solver(output.get("solver"))
+            if output.get("reexplored"):
+                GLOBAL_STATS.primaries_reexplored += 1
+            else:
+                GLOBAL_STATS.primaries_shipped += 1
             partials.setdefault(ref, []).append(output)
 
         # Deterministic merge: recombine partial verdicts in path order.

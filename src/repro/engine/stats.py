@@ -31,19 +31,59 @@ class EngineStats:
     classifications_computed: int = 0
     #: classifications served from the classification cache
     classification_cache_hits: int = 0
+    #: path tasks that classified a primary shipped in the plan payload
+    primaries_shipped: int = 0
+    #: path tasks that fell back to re-exploring their primary prefix
+    primaries_reexplored: int = 0
+    #: solver queries issued by dispatched tasks (aggregated from workers)
+    solver_queries: int = 0
+    #: solver queries answered from the constraint-set memo
+    solver_cache_hits: int = 0
+    #: solver queries that ran the narrowing/enumeration machinery
+    solver_cache_misses: int = 0
+    #: concrete assignments enumerated by the bounded solver
+    solver_assignments_enumerated: int = 0
 
     def reset(self) -> None:
         self.traces_recorded = 0
         self.trace_cache_hits = 0
         self.classifications_computed = 0
         self.classification_cache_hits = 0
+        self.primaries_shipped = 0
+        self.primaries_reexplored = 0
+        self.solver_queries = 0
+        self.solver_cache_hits = 0
+        self.solver_cache_misses = 0
+        self.solver_assignments_enumerated = 0
+
+    def absorb_solver(self, payload) -> None:
+        """Fold one task's solver-counter snapshot into the aggregate.
+
+        Task results carry ``SolverStats.to_dict()`` snapshots back to the
+        driving process (each task builds one fresh solver, so the snapshot
+        *is* the delta); the engine calls this as it collects results, which
+        keeps the "workers never touch the counters" invariant while still
+        counting pooled work.
+        """
+        if not payload:
+            return
+        self.solver_queries += payload.get("queries", 0)
+        self.solver_cache_hits += payload.get("cache_hits", 0)
+        self.solver_cache_misses += payload.get("cache_misses", 0)
+        self.solver_assignments_enumerated += payload.get("enumerated_assignments", 0)
 
     def summary(self) -> str:
         return (
             f"engine stats: traces recorded={self.traces_recorded}, "
             f"trace-cache hits={self.trace_cache_hits}, "
             f"classifications computed={self.classifications_computed}, "
-            f"classification-cache hits={self.classification_cache_hits}"
+            f"classification-cache hits={self.classification_cache_hits}, "
+            f"primaries shipped={self.primaries_shipped}, "
+            f"primaries re-explored={self.primaries_reexplored}, "
+            f"solver queries={self.solver_queries} "
+            f"(cache hits={self.solver_cache_hits}, "
+            f"misses={self.solver_cache_misses}), "
+            f"solver assignments enumerated={self.solver_assignments_enumerated}"
         )
 
 

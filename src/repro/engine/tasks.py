@@ -138,11 +138,17 @@ def _resolve_program(task) -> Tuple[object, list]:
     return workload.program, predicates
 
 
+def _solver_snapshot(portend) -> Dict:
+    """The task's solver-counter delta (each task builds one fresh solver)."""
+    return portend.executor.solver.stats.to_dict()
+
+
 def execute_task(payload: Mapping) -> Dict:
     """Classify one race of a workload (worker entry point).
 
     Module-level so :class:`concurrent.futures.ProcessPoolExecutor` can
-    pickle it.
+    pickle it.  Returns the classified race plus the task's solver counters
+    (the driving process aggregates them into ``repro.engine.stats``).
     """
     from repro.core.portend import Portend
 
@@ -152,7 +158,8 @@ def execute_task(payload: Mapping) -> Dict:
     trace = _resolve_trace(task)
     portend = Portend(program, config=config, predicates=predicates)
     race = trace.race_by_id(task.race_id)
-    return portend.classify_race(trace, race).to_dict()
+    classified = portend.classify_race(trace, race).to_dict()
+    return {"classified": classified, "solver": _solver_snapshot(portend)}
 
 
 # --------------------------------------------------------------- Stage 1 task
@@ -224,8 +231,12 @@ class PlanTask(ClassificationTask):
     The plan decides how the rest of the race's classification is
     distributed: a conclusive single stage needs no further tasks, an
     inconclusive one fans out into ``path_count`` :class:`PathTask` items.
-    The plan also owns the exploration diagnostics (pruned-state counts and
-    reasons), which the per-path workers do not repeat.
+    Besides the count, the plan result carries the explored primaries
+    themselves as JSON (``PrimaryPath.to_dict``), so the engine can embed
+    each primary in its path task and no worker ever repeats the BFS
+    prefix exploration.  The plan also owns the exploration diagnostics
+    (pruned-state counts and reasons), which the per-path workers do not
+    repeat.
     """
 
 
@@ -251,6 +262,7 @@ def execute_plan_task(payload: Mapping) -> Dict:
         "single": outcome.to_dict(),
         "needs_paths": False,
         "path_count": 0,
+        "primaries": [],
         "states_pruned": 0,
         "prune_reasons": [],
     }
@@ -262,10 +274,12 @@ def execute_plan_task(payload: Mapping) -> Dict:
         plan.update(
             needs_paths=True,
             path_count=len(primaries),
+            primaries=[path.to_dict() for path in primaries],
             states_pruned=explorer.states_pruned,
             prune_reasons=list(explorer.prune_reasons),
         )
     plan["seconds"] = time.perf_counter() - started
+    plan["solver"] = _solver_snapshot(portend)
     return plan
 
 
@@ -274,31 +288,42 @@ class PathTask(ClassificationTask):
     """One ``(race, primary-path)`` work item: the engine's finest grain.
 
     A :class:`ClassificationTask` narrowed to a single primary path.  The
-    worker re-derives the primary deterministically (see
-    :func:`repro.explore.paths.explore_primary` for the prefix property that
-    makes ``path_index`` sufficient) and returns the partial verdict; the
-    engine's merge step recombines partial verdicts into a
-    ``ClassifiedRace`` bit-identical to the serial result.
+    payload normally embeds the serialized primary the plan explored
+    (``primary``: a :meth:`repro.explore.paths.PrimaryPath.to_dict`
+    payload), so the worker classifies directly from shipped data.  When no
+    primary is attached (older payloads, or a driver that opted out) the
+    worker falls back to re-deriving it deterministically (see
+    :func:`repro.explore.paths.explore_primary` for the prefix property
+    that makes ``path_index`` sufficient).  Either way it returns the
+    partial verdict; the engine's merge step recombines partial verdicts
+    into a ``ClassifiedRace`` bit-identical to the serial result.
     """
 
     path_index: int = 0
+    primary: Optional[Dict] = None
 
     def to_payload(self) -> Dict:
         payload = super().to_payload()
         payload["path_index"] = self.path_index
+        if self.primary is not None:
+            payload["primary"] = self.primary
         return payload
 
     @classmethod
     def from_payload(cls, payload: Mapping) -> "PathTask":
         base = super().from_payload(payload)
-        return replace(base, path_index=payload["path_index"])
+        return replace(
+            base,
+            path_index=payload["path_index"],
+            primary=payload.get("primary"),
+        )
 
 
 def execute_path_task(payload: Mapping) -> Dict:
     """Analyze one primary path of one race (worker entry point)."""
     from repro.core.multi_path import analyze_primary_path
     from repro.core.portend import Portend
-    from repro.explore.paths import explore_primary
+    from repro.explore.paths import PrimaryPath, explore_primary
 
     task = PathTask.from_payload(payload)
     program, predicates = _resolve_program(task)
@@ -308,17 +333,26 @@ def execute_path_task(payload: Mapping) -> Dict:
     race = trace.race_by_id(task.race_id)
 
     started = time.perf_counter()
-    path = explore_primary(
-        portend.executor, portend.program, trace, race, config, task.path_index
-    )
-    if path is None:
-        # Deterministic exploration makes the plan's path count binding; a
-        # disagreement means non-determinism crept in -- fail loudly rather
-        # than silently dropping a primary path from the verdict.
-        raise RuntimeError(
-            f"exploration of race {task.race_id} in {task.workload!r} yielded no "
-            f"primary path at index {task.path_index}"
+    reexplored = task.primary is None
+    if task.primary is not None:
+        path = PrimaryPath.from_dict(task.primary)
+        if path.index != task.path_index:
+            raise RuntimeError(
+                f"shipped primary of race {task.race_id} in {task.workload!r} "
+                f"carries index {path.index}, task expected {task.path_index}"
+            )
+    else:
+        path = explore_primary(
+            portend.executor, portend.program, trace, race, config, task.path_index
         )
+        if path is None:
+            # Deterministic exploration makes the plan's path count binding; a
+            # disagreement means non-determinism crept in -- fail loudly rather
+            # than silently dropping a primary path from the verdict.
+            raise RuntimeError(
+                f"exploration of race {task.race_id} in {task.workload!r} yielded no "
+                f"primary path at index {task.path_index}"
+            )
     verdict = analyze_primary_path(
         portend.executor,
         portend.program,
@@ -332,7 +366,9 @@ def execute_path_task(payload: Mapping) -> Dict:
         "race_id": task.race_id,
         "path_index": task.path_index,
         "verdict": verdict.to_dict(),
+        "reexplored": reexplored,
         "seconds": time.perf_counter() - started,
+        "solver": _solver_snapshot(portend),
     }
 
 

@@ -42,8 +42,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate",
+        choices=sorted(_EXPERIMENTS) + ["all", "cache-info"],
+        help="which table/figure to regenerate, or 'cache-info' to dump "
+        "per-entry age and hit counts of a --cache-dir",
     )
     parser.add_argument(
         "--parallel",
@@ -71,8 +72,17 @@ def main(argv=None) -> int:
         choices=["auto", "race", "path"],
         dest="granularity",
         help="classification task grain: 'race' = one task per (workload, race), "
-        "'path' = one task per (race, primary-path); 'auto' picks 'path' when "
-        "--parallel > 1 and 'race' serially",
+        "'path' = one task per (race, primary-path); 'auto' adapts per workload "
+        "when --parallel > 1 (path for few-race workloads, race for many-race "
+        "ones) and stays at 'race' serially",
+    )
+    parser.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound each cache layer in --cache-dir to N entries "
+        "(least-recently-used entries are evicted beyond it)",
     )
     parser.add_argument(
         "--stats",
@@ -81,6 +91,14 @@ def main(argv=None) -> int:
         "(always printed when --cache-dir is given)",
     )
     args = parser.parse_args(argv)
+
+    if args.experiment == "cache-info":
+        if not args.cache_dir:
+            parser.error("cache-info requires --cache-dir")
+        from repro.engine.cache import collect_cache_info, render_cache_info
+
+        print(render_cache_info(collect_cache_info(args.cache_dir)))
+        return 0
 
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
 
@@ -103,6 +121,7 @@ def main(argv=None) -> int:
             parallel=args.parallel,
             cache_dir=args.cache_dir,
             granularity=args.granularity,
+            cache_max_entries=args.cache_max_entries,
         )
 
     for name in names:

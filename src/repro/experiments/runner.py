@@ -54,6 +54,7 @@ def _engine(
     parallel: int,
     cache_dir: Optional[str],
     granularity: str,
+    cache_max_entries: Optional[int] = None,
 ) -> AnalysisEngine:
     return AnalysisEngine(
         config=config,
@@ -62,6 +63,7 @@ def _engine(
             cache_dir=cache_dir,
             use_semantic_predicates=use_semantic_predicates,
             granularity=granularity,
+            cache_max_entries=cache_max_entries,
         ),
     )
 
@@ -97,9 +99,13 @@ def analyze_workload(
     parallel: int = 0,
     cache_dir: Optional[str] = None,
     granularity: str = "auto",
+    cache_max_entries: Optional[int] = None,
 ) -> WorkloadRun:
     """Run detection + classification for one workload."""
-    engine = _engine(config, use_semantic_predicates, parallel, cache_dir, granularity)
+    engine = _engine(
+        config, use_semantic_predicates, parallel, cache_dir, granularity,
+        cache_max_entries,
+    )
     engine_runs = engine.analyze_workloads([workload])
     return _wrap_runs(engine, engine_runs, use_semantic_predicates, measure_plain_time)[0]
 
@@ -113,6 +119,7 @@ def analyze_all(
     parallel: int = 0,
     cache_dir: Optional[str] = None,
     granularity: str = "auto",
+    cache_max_entries: Optional[int] = None,
 ) -> List[WorkloadRun]:
     """Run Portend over a set of workloads (default: the full Table 1 list).
 
@@ -125,6 +132,9 @@ def analyze_all(
         workloads = all_workloads(include_micro=include_micro)
     else:
         workloads = [load_workload(name) for name in names]
-    engine = _engine(config, use_semantic_predicates, parallel, cache_dir, granularity)
+    engine = _engine(
+        config, use_semantic_predicates, parallel, cache_dir, granularity,
+        cache_max_entries,
+    )
     engine_runs = engine.analyze_workloads(workloads)
     return _wrap_runs(engine, engine_runs, use_semantic_predicates, measure_plain_time)

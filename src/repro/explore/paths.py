@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.detection.race_report import RaceReport
 from repro.lang.program import Program
 from repro.record_replay.trace import ExecutionTrace
+from repro.runtime.errors import ExecutionOutcome
 from repro.runtime.executor import Executor, RunResult, RunStatus
 from repro.runtime.listeners import ExecutionListener, MemoryAccess
 from repro.runtime.scheduler import ReplayPolicy, RoundRobinPolicy
@@ -31,20 +32,59 @@ from repro.symex.solver import Solver
 
 @dataclass
 class PrimaryPath:
-    """One explored primary path that exercises the target race."""
+    """One explored primary path that exercises the target race.
+
+    The path is **plain data**: everything the per-path analysis
+    (:func:`repro.core.multi_path.analyze_primary_path`) consumes -- the
+    path condition, the symbolic outputs, the concrete input model, the
+    terminal outcome and the exploration bookkeeping -- is serializable via
+    :meth:`to_dict`/:meth:`from_dict`, so a plan task can ship its explored
+    primaries to path workers instead of each worker re-running the BFS
+    prefix.  ``state`` (the live interpreter state the explorer finished
+    with) is an optional extra for in-process callers; it never crosses a
+    process boundary and deserialized paths carry ``state=None``.
+    """
 
     index: int
-    state: ExecutionState
     path_condition: PathCondition
     symbolic_outputs: List[OutputRecord]
     concrete_inputs: Dict[str, int]
     diverged_after_race: bool
     race_reached_step: int
     symbolic_branches: int
+    outcome: Optional[ExecutionOutcome] = None
+    state: Optional[ExecutionState] = None
 
-    @property
-    def outcome(self):
-        return self.state.outcome
+    # -------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict:
+        """JSON wire format of the path (no live interpreter state)."""
+        return {
+            "index": self.index,
+            "path_condition": self.path_condition.to_dict(),
+            "symbolic_outputs": [record.to_dict() for record in self.symbolic_outputs],
+            "concrete_inputs": dict(self.concrete_inputs),
+            "diverged_after_race": self.diverged_after_race,
+            "race_reached_step": self.race_reached_step,
+            "symbolic_branches": self.symbolic_branches,
+            "outcome": self.outcome.to_dict() if self.outcome is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PrimaryPath":
+        outcome = data["outcome"]
+        return cls(
+            index=data["index"],
+            path_condition=PathCondition.from_dict(data["path_condition"]),
+            symbolic_outputs=[
+                OutputRecord.from_dict(record) for record in data["symbolic_outputs"]
+            ],
+            concrete_inputs=dict(data["concrete_inputs"]),
+            diverged_after_race=data["diverged_after_race"],
+            race_reached_step=data["race_reached_step"],
+            symbolic_branches=data["symbolic_branches"],
+            outcome=ExecutionOutcome.from_dict(outcome) if outcome is not None else None,
+        )
 
 
 class _RaceReachedTracker(ExecutionListener):
@@ -200,13 +240,14 @@ class MultiPathExplorer:
             primaries.append(
                 PrimaryPath(
                     index=len(primaries),
-                    state=state,
                     path_condition=state.path_condition,
                     symbolic_outputs=list(state.output_log),
                     concrete_inputs=concrete_inputs,
                     diverged_after_race=policy.diverged,
                     race_reached_step=race_step,
                     symbolic_branches=state.symbolic_branches,
+                    outcome=state.outcome,
+                    state=state,
                 )
             )
         return primaries
@@ -256,8 +297,11 @@ def explore_primary(
     primaries found with ``max_primaries = n`` are exactly the first ``n``
     primaries of a larger exploration -- a *prefix property*.  A worker that
     only needs path ``i`` can therefore stop the search at ``i + 1``
-    primaries instead of paying for the full ``Mp`` sweep; this is what the
-    engine's ``PathTask`` does.  Returns None when the exploration yields
+    primaries instead of paying for the full ``Mp`` sweep.  Since plans ship
+    their serialized primaries (:meth:`PrimaryPath.to_dict`), the engine's
+    ``PathTask`` only calls this as a *fallback* when no shipped primary is
+    attached; the test suite also uses it as the equivalence oracle for the
+    shipped wire format.  Returns None when the exploration yields
     fewer than ``path_index + 1`` primaries (the caller's plan disagrees with
     this process, which deterministic exploration rules out in practice).
 

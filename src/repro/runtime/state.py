@@ -21,7 +21,14 @@ from repro.runtime.errors import ExecutionOutcome
 from repro.runtime.memory import Memory
 from repro.runtime.sync import SyncState
 from repro.runtime.threadstate import BlockEntry, Frame, ThreadState, ThreadStatus
-from repro.symex.expr import SymVar, Value, is_symbolic, render
+from repro.symex.expr import (
+    SymVar,
+    Value,
+    is_symbolic,
+    render,
+    value_from_dict,
+    value_to_dict,
+)
 from repro.symex.path_condition import PathCondition
 
 _state_ids = itertools.count(1)
@@ -44,6 +51,30 @@ class OutputRecord:
     def describe(self) -> str:
         rendered = ", ".join(render(v) for v in self.values)
         return f"{self.channel}({rendered})"
+
+    # -------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (symbolic outputs of shipped primaries)."""
+        return {
+            "channel": self.channel,
+            "values": [value_to_dict(value) for value in self.values],
+            "tid": self.tid,
+            "pc": self.pc,
+            "label": self.label,
+            "step": self.step,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "OutputRecord":
+        return cls(
+            channel=data["channel"],
+            values=tuple(value_from_dict(value) for value in data["values"]),
+            tid=data["tid"],
+            pc=data["pc"],
+            label=data["label"],
+            step=data["step"],
+        )
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,15 @@ The module exposes smart constructors (``sym_add``, ``sym_eq``, ...) that
 constant-fold eagerly: applying them to two concrete operands returns a
 concrete Python value, so interpreter code never needs to special-case the
 "everything is concrete" fast path.
+
+Symbolic nodes are **hash-consed**: the smart constructors (and the JSON
+decoder) intern every node in a process-wide table, so structurally equal
+expressions built through them are the *same object*.  Combined with the
+per-node cached structural hash, this makes the dict/set operations the
+solver's memoization layer relies on O(1) instead of O(tree).  Interning is
+an optimization only -- equality stays the structural equality the frozen
+dataclasses define, and nodes built by calling a constructor directly are
+merely not shared, never wrong.
 """
 
 from __future__ import annotations
@@ -86,18 +95,54 @@ class SymExpr:
     def __deepcopy__(self, memo: dict) -> "SymExpr":
         return self
 
+    def __getstate__(self) -> dict:
+        # The cached structural hash (see _install_cached_hash) depends on
+        # the per-process string-hash seed; shipping it to another process
+        # would leave an instance whose hash disagrees with equal peers.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     # Symbolic expressions intentionally do not override __eq__ to mean
     # semantic equality; structural equality is what dataclass equality
     # provides on the subclasses.
 
 
+#: sentinel marking a no-argument ``SymVar.__new__`` call (the pickle/copy
+#: reconstruction path, which must never touch the intern table)
+_UNSET = object()
+
+
 @dataclass(frozen=True)
 class SymVar(SymExpr):
-    """A free symbolic variable with an inclusive finite domain."""
+    """A free symbolic variable with an inclusive finite domain.
+
+    Variables are interned at construction: two ``SymVar`` calls with the
+    same (name, lo, hi) return the *same object*, so every expression tree
+    shares its leaves.  This is what lets the compound-node interning (and
+    the simplifier's identity rewrites, which hand back subtrees) preserve
+    object identity across independently built but structurally equal
+    expressions.  Unpickled instances bypass the table (they are merely
+    equal, not identical -- structural equality is unaffected).
+    """
 
     name: str
     lo: int = 0
     hi: int = 255
+
+    def __new__(cls, name=_UNSET, lo: int = 0, hi: int = 255) -> "SymVar":
+        if name is _UNSET:
+            # Pickle/copy reconstruct with no arguments and then restore the
+            # instance dict; interning here would alias distinct objects.
+            return super().__new__(cls)
+        cached = _INTERN_TABLE.get((cls, name, lo, hi))
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        if len(_INTERN_TABLE) >= _INTERN_LIMIT:
+            _INTERN_TABLE.clear()
+        _INTERN_TABLE[(cls, name, lo, hi)] = self
+        return self
 
     def __post_init__(self) -> None:
         if self.lo > self.hi:
@@ -143,6 +188,66 @@ class IteExpr(SymExpr):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ite({self.cond!r}, {self.then_value!r}, {self.else_value!r})"
+
+
+# ------------------------------------------------------------- hash-consing
+
+#: process-wide intern table: (node class, *field values) -> canonical node.
+#: Bounded by clearing on overflow -- interning is a sharing optimization,
+#: so dropping the table only costs future sharing, never correctness.
+_INTERN_TABLE: Dict[tuple, SymExpr] = {}
+_INTERN_LIMIT = 1 << 18
+
+
+def _intern(cls, args: tuple) -> SymExpr:
+    """Return the canonical instance of ``cls(*args)``.
+
+    The interning constructor used by the smart constructors and the JSON
+    decoder.  Field values double as the table key, so two lookups with
+    structurally equal children (themselves interned, hence identical)
+    hit the same entry.
+    """
+    key = (cls, *args)
+    node = _INTERN_TABLE.get(key)
+    if node is None:
+        node = cls(*args)
+        if len(_INTERN_TABLE) >= _INTERN_LIMIT:
+            _INTERN_TABLE.clear()
+        _INTERN_TABLE[key] = node
+    return node
+
+
+def intern_table_size() -> int:
+    """Number of live interned nodes (exposed for tests/benchmarks)."""
+    return len(_INTERN_TABLE)
+
+
+def _install_cached_hash(cls, key_fn) -> None:
+    """Replace ``cls.__hash__`` with a lazily cached structural hash.
+
+    The dataclass-generated hash walks the whole field tuple on every call,
+    which makes hashing a deep tree O(nodes) *per lookup*; constraint sets
+    are hashed constantly by the solver cache.  The cached value lives in
+    the instance ``__dict__`` (the dataclasses are frozen but not slotted)
+    and is dropped on pickling (see ``SymExpr.__getstate__``).
+    """
+
+    def __hash__(self) -> int:
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash(key_fn(self))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    cls.__hash__ = __hash__
+
+
+_install_cached_hash(SymVar, lambda s: ("var", s.name, s.lo, s.hi))
+_install_cached_hash(BinExpr, lambda s: ("bin", s.op, s.left, s.right))
+_install_cached_hash(UnExpr, lambda s: ("un", s.op, s.operand))
+_install_cached_hash(
+    IteExpr, lambda s: ("ite", s.cond, s.then_value, s.else_value)
+)
 
 
 def is_symbolic(value: object) -> bool:
@@ -241,21 +346,30 @@ def make_binary(op: Op, left: Value, right: Value) -> Value:
     """Build a binary expression, constant-folding concrete operands."""
     if not is_symbolic(left) and not is_symbolic(right):
         return _apply_binary(op, _as_int(left), _as_int(right))
-    return BinExpr(op, left, right)
+    return _intern(BinExpr, (op, left, right))
 
 
 def make_unary(op: Op, operand: Value) -> Value:
     """Build a unary expression, constant-folding concrete operands."""
     if not is_symbolic(operand):
         return _apply_unary(op, _as_int(operand))
-    return UnExpr(op, operand)
+    return _intern(UnExpr, (op, operand))
 
 
 def make_ite(cond: Value, then_value: Value, else_value: Value) -> Value:
     """Build an if-then-else expression, folding a concrete condition."""
     if not is_symbolic(cond):
         return then_value if _as_int(cond) != 0 else else_value
-    return IteExpr(cond, then_value, else_value)
+    return _intern(IteExpr, (cond, then_value, else_value))
+
+
+def make_var(name: str, lo: int = 0, hi: int = 255) -> "SymVar":
+    """Interning constructor for symbolic variables.
+
+    Kept for symmetry with the other factories; ``SymVar`` itself interns
+    in ``__new__``, so direct construction is equivalent.
+    """
+    return SymVar(name, lo, hi)
 
 
 # Smart constructors used throughout the interpreter and the workloads.
@@ -419,8 +533,9 @@ def value_to_dict(value: Value) -> object:
 def value_from_dict(data: object) -> Value:
     """Inverse of :func:`value_to_dict`.
 
-    Symbolic nodes are rebuilt verbatim (no constant folding), so a round
-    trip preserves expression structure exactly.
+    Symbolic nodes are rebuilt verbatim (no constant folding) and interned,
+    so a round trip preserves expression structure exactly while maximizing
+    sharing with expressions already live in this process.
     """
     if isinstance(data, bool):
         return int(data)
@@ -432,16 +547,20 @@ def value_from_dict(data: object) -> Value:
     if kind == "var":
         return SymVar(data["name"], data["lo"], data["hi"])
     if kind == "bin":
-        return BinExpr(
-            Op(data["op"]), value_from_dict(data["left"]), value_from_dict(data["right"])
+        return _intern(
+            BinExpr,
+            (Op(data["op"]), value_from_dict(data["left"]), value_from_dict(data["right"])),
         )
     if kind == "un":
-        return UnExpr(Op(data["op"]), value_from_dict(data["operand"]))
+        return _intern(UnExpr, (Op(data["op"]), value_from_dict(data["operand"])))
     if kind == "ite":
-        return IteExpr(
-            value_from_dict(data["cond"]),
-            value_from_dict(data["then"]),
-            value_from_dict(data["else"]),
+        return _intern(
+            IteExpr,
+            (
+                value_from_dict(data["cond"]),
+                value_from_dict(data["then"]),
+                value_from_dict(data["else"]),
+            ),
         )
     raise ExprError(f"cannot decode value from {data!r}")
 

@@ -25,13 +25,36 @@ from repro.symex.expr import (
 
 _COMMUTATIVE = {Op.ADD, Op.MUL, Op.AND, Op.OR, Op.BAND, Op.BOR, Op.BXOR, Op.EQ, Op.NE}
 
+#: process-wide memo: expression node -> its simplified form.  Expressions
+#: are immutable and (mostly) hash-consed, so simplification is a pure
+#: function of the node and can be cached across path conditions, solver
+#: queries, and executions.  Bounded by clearing on overflow.
+_SIMPLIFY_MEMO: dict = {}
+_SIMPLIFY_MEMO_LIMIT = 1 << 16
+
 
 def simplify(value: Value) -> Value:
-    """Return a simplified, semantically equivalent expression."""
+    """Return a simplified, semantically equivalent expression.
+
+    Memoized: the hot path of the bounded solver re-simplifies the same
+    path-condition constraints for every query, and the rewrite walk is
+    O(tree) -- caching turns the repeat visits into one dict lookup.
+    """
     if not is_symbolic(value):
         return value
     if isinstance(value, SymVar):
         return value
+    cached = _SIMPLIFY_MEMO.get(value)
+    if cached is not None:
+        return cached
+    result = _simplify_node(value)
+    if len(_SIMPLIFY_MEMO) >= _SIMPLIFY_MEMO_LIMIT:
+        _SIMPLIFY_MEMO.clear()
+    _SIMPLIFY_MEMO[value] = result
+    return result
+
+
+def _simplify_node(value: SymExpr) -> Value:
     if isinstance(value, UnExpr):
         return _simplify_unary(value)
     if isinstance(value, BinExpr):

@@ -19,6 +19,18 @@ configurable budget.  If the budget is exhausted the solver answers
 ``UNKNOWN``; callers decide how to treat that (the executor conservatively
 treats unknown branches as feasible, matching KLEE's behaviour on solver
 timeouts).
+
+The solver memoizes itself: every :meth:`Solver.check` result (verdict *and*
+model) is cached under a canonical fingerprint of the constraint set -- the
+``frozenset`` of the constraints, which is order- and duplicate-insensitive
+and cheap to hash thanks to the hash-consed expressions.  Because
+``is_satisfiable``/``get_model``/``must_hold``/``check_value`` all funnel
+into ``check`` (and ``value_range`` has its own memo), one exploration's
+repeated queries -- e.g. the same symbolic-output membership test against
+each of Ma alternate schedules -- enumerate assignments exactly once.  The
+cache is deterministic: a hit returns bit-identically what the miss
+computed, so cached and uncached runs classify identically (asserted by the
+test suite).
 """
 
 from __future__ import annotations
@@ -37,6 +49,7 @@ from repro.symex.expr import (
     evaluate,
     free_variables,
     is_symbolic,
+    make_binary,
     substitute,
 )
 from repro.symex.simplify import simplify
@@ -58,12 +71,43 @@ class SolverStats:
     enumerated_assignments: int = 0
     interval_prunes: int = 0
     unknown_answers: int = 0
+    #: queries answered from the constraint-set memo
+    cache_hits: int = 0
+    #: queries that had to run the narrowing/enumeration machinery
+    cache_misses: int = 0
 
     def reset(self) -> None:
         self.queries = 0
         self.enumerated_assignments = 0
         self.interval_prunes = 0
         self.unknown_answers = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-clean snapshot (travels back from engine worker tasks)."""
+        return {
+            "queries": self.queries,
+            "enumerated_assignments": self.enumerated_assignments,
+            "interval_prunes": self.interval_prunes,
+            "unknown_answers": self.unknown_answers,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+#: process-wide default for newly constructed solvers; the benchmark
+#: harness flips this to measure the memo's effect (see
+#: ``benchmarks/bench_engine.py``).  Results are bit-identical either way.
+CACHE_ENABLED_DEFAULT = True
+
+
+def set_cache_enabled_default(enabled: bool) -> bool:
+    """Set the process-wide solver-cache default; returns the previous value."""
+    global CACHE_ENABLED_DEFAULT
+    previous = CACHE_ENABLED_DEFAULT
+    CACHE_ENABLED_DEFAULT = bool(enabled)
+    return previous
 
 
 @dataclass
@@ -78,18 +122,59 @@ class _Interval:
         return 0 if self.is_empty() else self.hi - self.lo + 1
 
 
+#: sentinel distinguishing "not cached" from a cached ``None`` range
+_RANGE_MISS = object()
+
+
 class Solver:
     """Complete-on-bounded-domains satisfiability and model generation."""
 
-    def __init__(self, max_assignments: int = 200_000) -> None:
+    #: entries per memo before it is cleared (per-solver, so effectively
+    #: per-exploration; clearing only costs future hits)
+    CACHE_LIMIT = 65_536
+
+    def __init__(
+        self, max_assignments: int = 200_000, enable_cache: Optional[bool] = None
+    ) -> None:
         self.max_assignments = max_assignments
         self.stats = SolverStats()
+        self.enable_cache = (
+            CACHE_ENABLED_DEFAULT if enable_cache is None else bool(enable_cache)
+        )
+        #: constraint-set fingerprint -> (verdict, model); shared by every
+        #: query kind that funnels into :meth:`check`
+        self._check_cache: Dict[frozenset, Tuple[SolverResult, Optional[Dict[str, int]]]] = {}
+        #: (constraint-set fingerprint, expr) -> (lo, hi) or None
+        self._range_cache: Dict[Tuple[frozenset, Value], object] = {}
 
     # ------------------------------------------------------------------ API
 
     def check(self, constraints: Sequence[Value]) -> Tuple[SolverResult, Optional[Dict[str, int]]]:
         """Return a (verdict, model) pair for the conjunction of constraints."""
         self.stats.queries += 1
+        key: Optional[frozenset] = None
+        if self.enable_cache:
+            key = frozenset(constraints)
+            cached = self._check_cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                verdict, model = cached
+                # Hand out a copy: callers may mutate the model dict.
+                return verdict, (dict(model) if model is not None else None)
+            self.stats.cache_misses += 1
+        verdict, model = self._check_uncached(constraints)
+        if key is not None:
+            if len(self._check_cache) >= self.CACHE_LIMIT:
+                self._check_cache.clear()
+            self._check_cache[key] = (
+                verdict,
+                dict(model) if model is not None else None,
+            )
+        return verdict, model
+
+    def _check_uncached(
+        self, constraints: Sequence[Value]
+    ) -> Tuple[SolverResult, Optional[Dict[str, int]]]:
         simplified: List[Value] = []
         for constraint in constraints:
             constraint = simplify(constraint)
@@ -145,14 +230,14 @@ class Solver:
         """
         if not is_symbolic(expr):
             return int(expr) == int(value)
-        query = list(constraints) + [BinExpr(Op.EQ, expr, int(value))]
+        query = list(constraints) + [make_binary(Op.EQ, expr, int(value))]
         return self.is_satisfiable(query, unknown_is_sat=True)
 
     def must_hold(self, constraints: Sequence[Value], expr: Value) -> bool:
         """True when ``expr`` is nonzero under every model of ``constraints``."""
         if not is_symbolic(expr):
             return bool(expr)
-        negated = list(constraints) + [BinExpr(Op.EQ, expr, 0)]
+        negated = list(constraints) + [make_binary(Op.EQ, expr, 0)]
         verdict, _ = self.check(negated)
         return verdict is SolverResult.UNSAT
 
@@ -166,6 +251,28 @@ class Solver:
         """
         if not is_symbolic(expr):
             return int(expr), int(expr)
+        # A range computation is a solver query like any other: counting it
+        # here keeps the ``hits + misses == queries`` invariant of the
+        # cache-enabled stats.
+        self.stats.queries += 1
+        key: Optional[Tuple[frozenset, Value]] = None
+        if self.enable_cache:
+            key = (frozenset(constraints), expr)
+            cached = self._range_cache.get(key, _RANGE_MISS)
+            if cached is not _RANGE_MISS:
+                self.stats.cache_hits += 1
+                return cached
+            self.stats.cache_misses += 1
+        result = self._value_range_uncached(constraints, expr)
+        if key is not None:
+            if len(self._range_cache) >= self.CACHE_LIMIT:
+                self._range_cache.clear()
+            self._range_cache[key] = result
+        return result
+
+    def _value_range_uncached(
+        self, constraints: Sequence[Value], expr: Value
+    ) -> Optional[Tuple[int, int]]:
         variables = sorted(free_variables(expr), key=lambda v: v.name)
         if not variables:
             return None

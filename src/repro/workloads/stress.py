@@ -1,4 +1,4 @@
-"""Synthetic stress workload: one program, hundreds of distinct races.
+"""Synthetic stress workloads: many races per trace, many paths per race.
 
 The paper's workload set tops out at 19 distinct races per program
 (memcached, Table 3), which leaves a per-race work queue starved on wide
@@ -14,17 +14,29 @@ same constant and the program output never reads the slots, so all
 orderings are equivalent.  That keeps the ground truth trivial while the
 engine still pays the full per-race exploration cost, which is exactly what
 a scheduler/cache benchmark wants.
+
+``stress_deep`` stresses the *other* axis: per-race primary-path fan-out.
+Each slot's race is the same redundant-write pattern, but main ends with a
+chain of input-dependent branches (two symbolic inputs, three thresholds
+each) that emit symbolic diagnostics, so every race's multi-path
+exploration forks into many primary paths (Mp-bounded) whose outputs need
+symbolic comparison.  This is the shape that exercises per-path task
+shipping and the solver's memoization -- the same membership query repeats
+across alternate schedules and duplicate diagnostic channels.
 """
 
 from __future__ import annotations
 
 from repro.core.categories import RaceClass
-from repro.lang.ast import glob, local
+from repro.lang.ast import add, ge, glob, local
 from repro.lang.builder import ProgramBuilder
 from repro.workloads.base import GroundTruth, Workload
 
 #: distinct races in the registry build (``load_workload("stress")``)
 DEFAULT_RACES = 160
+
+#: slots (= races) in the registry build of ``stress_deep``
+DEFAULT_DEEP_SLOTS = 12
 
 
 def build_stress(races: int = DEFAULT_RACES) -> Workload:
@@ -69,5 +81,86 @@ def build_stress(races: int = DEFAULT_RACES) -> Workload:
                 f"slot_{index:04d}", RaceClass.K_WITNESS_HARMLESS
             )
             for index in range(races)
+        },
+    )
+
+
+def build_stress_deep(slots: int = DEFAULT_DEEP_SLOTS) -> Workload:
+    """Build the deep-path stress workload with ``slots`` distinct races.
+
+    One redundant-write race per slot (two writer threads, same constant),
+    plus a post-join chain of symbolic branches in main: ``depth_a`` and
+    ``depth_b`` are declared inputs that the multi-path explorer marks
+    symbolic, and each ``>= threshold`` test forks the exploration.  The
+    feasible combinations per input are its 4 domain values, so every race
+    has far more completed primary paths than the default Mp=5 budget --
+    the per-path fan-out itself becomes the workload.  Branch arms emit the
+    *same* symbolic expression on two channels (a diagnostic echoed to a
+    log), which is what makes the solver-side memo measurable: the
+    membership query of symbolic output comparison repeats per channel and
+    per alternate schedule.
+    """
+    if slots < 1:
+        raise ValueError("stress_deep workload needs at least one slot")
+    b = ProgramBuilder("stress_deep", language="C++")
+    for index in range(slots):
+        b.global_var(f"deep_{index:03d}", 0)
+
+    # Same racy shape as ``stress``: one distinct write-write race per slot,
+    # harmless by construction (both writers store the same constant).
+    for thread_name, base_line in (("writer_a", 100), ("writer_b", 1000)):
+        writer = b.function(thread_name)
+        for index in range(slots):
+            writer.assign(
+                glob(f"deep_{index:03d}"),
+                1,
+                label=f"stress_deep.cpp:{base_line + index}",
+            )
+        writer.ret()
+
+    main = b.function("main")
+    main.input("da", "depth_a", 0, 3, default=0, label="stress_deep.cpp:10")
+    main.input("db", "depth_b", 0, 3, default=0, label="stress_deep.cpp:11")
+    main.spawn("t1", "writer_a", label="stress_deep.cpp:20")
+    main.spawn("t2", "writer_b", label="stress_deep.cpp:21")
+    main.join(local("t1"))
+    main.join(local("t2"))
+
+    # Input-dependent branch chain *after* the racing accesses: every fork
+    # still reaches the race (schedule divergence past the race is
+    # tolerated, §3.3), so each feasible input region becomes a retained
+    # primary path.
+    line = 30
+    for gate, input_local in (("a", "da"), ("b", "db")):
+        for level in (1, 2, 3):
+            with main.if_(ge(local(input_local), level), label=f"stress_deep.cpp:{line}"):
+                diagnostic = add(local(input_local), level)
+                main.output("diag", [diagnostic], label=f"stress_deep.cpp:{line + 1}")
+                main.output("log", [diagnostic], label=f"stress_deep.cpp:{line + 2}")
+            with main.else_():
+                main.nop()
+            line += 4
+
+    main.output("stdout", [1], label=f"stress_deep.cpp:{line}")
+    main.ret()
+
+    return Workload(
+        name="stress_deep",
+        program=b.build(),
+        inputs={"depth_a": 0, "depth_b": 0},
+        description=(
+            f"synthetic deep-path stress: {slots} redundant-write races, "
+            "many primary paths per race"
+        ),
+        paper_loc=0,
+        paper_language="C++",
+        paper_forked_threads=3,
+        expected_distinct_races=slots,
+        is_micro_benchmark=True,
+        ground_truth={
+            f"deep_{index:03d}": GroundTruth(
+                f"deep_{index:03d}", RaceClass.K_WITNESS_HARMLESS
+            )
+            for index in range(slots)
         },
     )

@@ -139,7 +139,7 @@ class TestEngine:
             "trace": json.loads(json.dumps(trace.to_dict())),
             "config": PortendConfig().to_dict(),
         }
-        result = ClassifiedRace.from_dict(execute_task(payload))
+        result = ClassifiedRace.from_dict(execute_task(payload)["classified"])
         direct = portend.classify_race(trace, trace.races[0])
         assert result.classification is direct.classification
         assert result.k == direct.k
