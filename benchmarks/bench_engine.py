@@ -1,27 +1,34 @@
 """Benchmark: the staged analysis engine (serial vs parallel, cold vs warm).
 
 Runs the Table 1 workload list *plus* the synthetic ``stress`` (hundreds of
-distinct races in one trace) and ``stress_deep`` (many primary paths per
-race) workloads through the engine three ways:
+distinct harmless races in one trace), ``stress_deep`` (many primary paths
+per race) and ``stress_harmful`` (hundreds of crash races, the
+evidence-heavy classification path) workloads through the engine three
+ways:
 
 1. serially at race granularity (the reference),
 2. over a process pool at ``(race, primary-path)`` granularity,
 3. twice against a shared cache directory (cold, then warm -- the warm run
    must classify nothing).
 
-Two A/B comparisons quantify the hot-path optimizations:
+Three A/B comparisons quantify the hot-path optimizations:
 
 * **path mode** -- shipped primaries vs ``explore_primary`` re-derivation
   at path granularity (wall time plus the shipped/re-explored counters;
-  shipped mode must perform **zero** re-explorations), and
+  shipped mode must perform **zero** re-explorations),
 * **solver cache** -- the memoizing solver on vs off on ``stress_deep``
   (wall time plus enumerated-assignment counts; the memo must cut
-  enumeration by at least 30%).
+  enumeration by at least 30%), and
+* **dispatch** -- the streaming engine (one persistent pool, plan→path
+  overlap, worker-lifetime solver caches) vs the legacy barrier engine on
+  ``stress_deep`` (wall time, pool constructions, plan→path overlap
+  seconds, worker-cache hit rate; streaming must build exactly one pool,
+  measure overlap > 0, hit the worker cache, and not lose to barrier).
 
 Classifications are verified bit-identical across all modes.  Running the
 file directly emits a JSON artifact (``bench_engine.json``) with every
 number, which CI uploads next to the human-readable log.  The speedup
-assertion is gated on the host actually having more than one CPU: on a
+assertions are gated on the host actually having more than one CPU: on a
 single core the pool only adds process-management overhead, which is
 exactly what the serial fallback exists for.
 """
@@ -72,6 +79,19 @@ def run_comparison(names=None):
     ).analyze(names)
     parallel_seconds = time.perf_counter() - started
 
+    # The same pooled batch under the legacy barrier dispatch: the full-list
+    # equivalence gate below asserts streaming ≡ barrier ≡ serial on every
+    # registered workload, not just the dispatch A/B subset.
+    started = time.perf_counter()
+    barrier_runs = AnalysisEngine(
+        options=EngineOptions(
+            parallel=WORKERS,
+            granularity="path" if WORKERS > 1 else "auto",
+            dispatch="barrier",
+        )
+    ).analyze(names)
+    barrier_seconds = time.perf_counter() - started
+
     with tempfile.TemporaryDirectory() as cache_dir:
         options = EngineOptions(cache_dir=cache_dir)
         started = time.perf_counter()
@@ -88,6 +108,8 @@ def run_comparison(names=None):
         "serial_seconds": serial_seconds,
         "parallel_runs": parallel_runs,
         "parallel_seconds": parallel_seconds,
+        "barrier_runs": barrier_runs,
+        "barrier_seconds": barrier_seconds,
         "cold_seconds": cold_seconds,
         "warm_runs": warm_runs,
         "warm_seconds": warm_seconds,
@@ -95,7 +117,64 @@ def run_comparison(names=None):
     }
     outcome["path_mode"] = run_path_mode_comparison()
     outcome["solver_cache"] = run_solver_cache_comparison()
+    outcome["dispatch"] = run_dispatch_comparison()
     return outcome
+
+
+def run_dispatch_comparison(names=("stress_deep",)):
+    """Streaming vs barrier dispatch over a pool at path granularity.
+
+    ``stress_deep`` is the shape streaming exists for: every race plans,
+    then fans out into many path tasks, so the legacy barrier between the
+    plan queue and the path queue leaves the pool idling behind the slowest
+    plan, and every stage pays a fresh pool spin-up.  Streaming runs the
+    same tasks through one persistent pool and overlaps the two queues.
+    """
+    modes = {}
+    signatures = {}
+    for label in ("barrier", "streaming"):
+        # Best-of-2 wall clock: the throughput gate in verify() compares
+        # single-digit-millisecond margins, so one noisy scheduler hiccup
+        # must not decide it.  The counters are deterministic per run
+        # (overlap aside) and come from the last repetition.
+        best_seconds = None
+        for _repetition in range(2):
+            GLOBAL_STATS.reset()
+            started = time.perf_counter()
+            runs = AnalysisEngine(
+                options=EngineOptions(
+                    parallel=WORKERS,
+                    granularity="path" if WORKERS > 1 else "auto",
+                    dispatch=label,
+                )
+            ).analyze(list(names))
+            elapsed = time.perf_counter() - started
+            best_seconds = elapsed if best_seconds is None else min(best_seconds, elapsed)
+        queries = GLOBAL_STATS.solver_queries
+        modes[label] = {
+            "seconds": best_seconds,
+            "pools_created": GLOBAL_STATS.pools_created,
+            "pool_reuses": GLOBAL_STATS.pool_reuses,
+            "stage_overlap_seconds": GLOBAL_STATS.stage_overlap_seconds,
+            "worker_cache_hits": GLOBAL_STATS.worker_cache_hits,
+            "solver_queries": queries,
+            "worker_cache_hit_rate": (
+                GLOBAL_STATS.worker_cache_hits / queries if queries else 0.0
+            ),
+        }
+        signatures[label] = _signature(runs)
+    return {
+        "workloads": list(names),
+        "workers": WORKERS,
+        "barrier": modes["barrier"],
+        "streaming": modes["streaming"],
+        "identical": signatures["barrier"] == signatures["streaming"],
+        "speedup": (
+            modes["barrier"]["seconds"] / modes["streaming"]["seconds"]
+            if modes["streaming"]["seconds"]
+            else 0.0
+        ),
+    }
 
 
 def run_path_mode_comparison(names=None):
@@ -180,6 +259,7 @@ def render(outcome):
     )
     path_mode = outcome["path_mode"]
     solver_cache = outcome["solver_cache"]
+    dispatch = outcome["dispatch"]
     lines = [
         "Engine benchmark: staged pipeline, serial vs parallel vs warm cache",
         f"{'workloads':<26} {len(serial_runs)}",
@@ -189,6 +269,7 @@ def render(outcome):
         f"{'parallel wall-clock':<26} {outcome['parallel_seconds']:.2f}s  "
         f"({'path' if WORKERS > 1 else 'race'} granularity)",
         f"{'parallel speedup':<26} {speedup:.2f}x",
+        f"{'barrier wall-clock':<26} {outcome['barrier_seconds']:.2f}s  (legacy dispatch)",
         f"{'cold cached run':<26} {outcome['cold_seconds']:.2f}s",
         f"{'warm cached run':<26} {outcome['warm_seconds']:.2f}s  "
         f"({outcome['warm_classifications']} classifications computed)",
@@ -209,6 +290,19 @@ def render(outcome):
         f"({solver_cache['on']['solver_enumerated']} assignments enumerated, "
         f"{solver_cache['on']['solver_cache_hits']} hits)",
         f"{'enumeration drop':<26} {solver_cache['enumeration_drop']:.1%}",
+        "",
+        f"Dispatch ({', '.join(dispatch['workloads'])}, {dispatch['workers']} workers):",
+        f"{'barrier':<26} {dispatch['barrier']['seconds']:.2f}s  "
+        f"({dispatch['barrier']['pools_created']} pools created)",
+        f"{'streaming':<26} {dispatch['streaming']['seconds']:.2f}s  "
+        f"({dispatch['streaming']['pools_created']} pool created, "
+        f"{dispatch['streaming']['pool_reuses']} reuses, "
+        f"{dispatch['streaming']['stage_overlap_seconds']:.2f}s plan/path overlap)",
+        f"{'worker-cache hit rate':<26} "
+        f"{dispatch['streaming']['worker_cache_hit_rate']:.1%} "
+        f"({dispatch['streaming']['worker_cache_hits']} of "
+        f"{dispatch['streaming']['solver_queries']} queries)",
+        f"{'streaming speedup':<26} {dispatch['speedup']:.2f}x",
     ]
     return "\n".join(lines)
 
@@ -224,11 +318,13 @@ def to_artifact(outcome):
         ),
         "serial_seconds": outcome["serial_seconds"],
         "parallel_seconds": outcome["parallel_seconds"],
+        "barrier_seconds": outcome["barrier_seconds"],
         "cold_seconds": outcome["cold_seconds"],
         "warm_seconds": outcome["warm_seconds"],
         "warm_classifications": outcome["warm_classifications"],
         "path_mode": outcome["path_mode"],
         "solver_cache": outcome["solver_cache"],
+        "dispatch": outcome["dispatch"],
     }
 
 
@@ -241,6 +337,7 @@ def verify(outcome):
     solver memo stops earning its keep.
     """
     assert _signature(outcome["serial_runs"]) == _signature(outcome["parallel_runs"])
+    assert _signature(outcome["serial_runs"]) == _signature(outcome["barrier_runs"])
     assert _signature(outcome["serial_runs"]) == _signature(outcome["warm_runs"])
     # Per-workload ground truth: the default list totals 93 (the paper's
     # Table 3) plus the stress slots; a names subset checks its own subset.
@@ -263,10 +360,34 @@ def verify(outcome):
     solver_cache = outcome["solver_cache"]
     assert solver_cache["identical"]
     assert solver_cache["enumeration_drop"] >= 0.30, solver_cache
+    # Streaming vs barrier dispatch: bit-identical verdicts, and the
+    # worker-lifetime solver cache must actually be hit (identical
+    # constraint-set queries recur across the races/paths of one workload
+    # whichever process runs the tasks).
+    dispatch = outcome["dispatch"]
+    assert dispatch["identical"]
+    assert dispatch["streaming"]["worker_cache_hits"] > 0, dispatch
     if (os.cpu_count() or 1) > 1 and WORKERS > 1:
         # Real parallel hardware must beat the serial pipeline on a
         # multi-race batch (hundreds of independent tasks).
         assert outcome["parallel_seconds"] < outcome["serial_seconds"]
+        # The streaming engine builds exactly one pool per run and reuses
+        # it for every later stage, overlaps the plan and path queues for a
+        # measurable amount of time, and must not lose to the barrier
+        # engine it replaces (it runs the same tasks minus the pool churn
+        # and the inter-stage idling).
+        assert dispatch["streaming"]["pools_created"] == 1, dispatch
+        assert dispatch["streaming"]["pool_reuses"] >= 1, dispatch
+        assert dispatch["streaming"]["stage_overlap_seconds"] > 0.0, dispatch
+        assert dispatch["barrier"]["pools_created"] > 1, dispatch
+        # Best-of-2 wall clocks with a 15% noise allowance: the comparison
+        # is between pooled runs whose structural margin (pool spin-ups +
+        # inter-stage idling) is small on this workload, and a shared CI
+        # runner's scheduler jitter must not fail the gate when the
+        # deterministic counters above already prove the mechanism works.
+        assert (
+            dispatch["streaming"]["seconds"] <= 1.15 * dispatch["barrier"]["seconds"]
+        ), dispatch
 
 
 def test_engine_serial_vs_parallel(benchmark, once):

@@ -29,6 +29,7 @@ from repro.lang.program import Program
 from repro.record_replay.recorder import record_execution
 from repro.record_replay.trace import ExecutionTrace
 from repro.runtime.executor import Executor, ExecutorConfig
+from repro.symex.solver import Solver
 
 
 @dataclass
@@ -102,12 +103,15 @@ class Portend:
         predicates: Sequence[SemanticPredicate] = (),
         executor: Optional[Executor] = None,
         detector_ignore_mutexes: bool = False,
+        solver: Optional[Solver] = None,
     ) -> None:
         self.program = program if program.finalized else program.finalize()
         self.config = config or PortendConfig()
         self.predicates = list(predicates)
         self.executor = executor or Executor(
-            self.program, config=ExecutorConfig(max_steps=self.config.max_steps_per_execution)
+            self.program,
+            config=ExecutorConfig(max_steps=self.config.max_steps_per_execution),
+            solver=solver,
         )
         self.detector_ignore_mutexes = detector_ignore_mutexes
 

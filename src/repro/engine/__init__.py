@@ -2,10 +2,15 @@
 
 * :mod:`repro.engine.engine` -- :class:`AnalysisEngine`, the staged
   record→detect→classify pipeline over ``concurrent.futures`` process pools
-  with a serial fallback and a deterministic per-path merge,
+  with a serial fallback, a streaming plan→path scheduler and a
+  deterministic per-path merge,
+* :mod:`repro.engine.dispatch` -- :class:`PoolDispatcher`, the run-lifetime
+  persistent pool (streaming mode) and the legacy per-dispatch pool
+  (barrier mode),
 * :mod:`repro.engine.tasks` -- the work items (``RecordTask``,
-  ``ClassificationTask``, ``PlanTask``, ``PathTask``) and their picklable
-  worker entry points,
+  ``ClassificationTask``, ``PlanTask``, ``PathTask``), their picklable
+  worker entry points, and the pool initializer that installs each worker's
+  lifetime solver-cache state,
 * :mod:`repro.engine.cache` -- the on-disk trace cache keyed by
   ``(program, inputs, config)`` and the classification cache keyed by
   ``(program, inputs, config, race_id)`` plus the predicate mode,
@@ -13,6 +18,7 @@
 """
 
 from repro.engine.cache import ClassificationCache, TraceCache, collect_cache_info
+from repro.engine.dispatch import DISPATCH_MODES, PoolDispatcher
 from repro.engine.engine import (
     AnalysisEngine,
     EngineOptions,
@@ -30,6 +36,7 @@ from repro.engine.tasks import (
     execute_plan_task,
     execute_record_task,
     execute_task,
+    pool_worker_initializer,
 )
 
 __all__ = [
@@ -38,6 +45,8 @@ __all__ = [
     "EngineRun",
     "choose_granularity",
     "collect_cache_info",
+    "DISPATCH_MODES",
+    "PoolDispatcher",
     "TraceCache",
     "ClassificationCache",
     "ClassificationTask",
@@ -49,6 +58,7 @@ __all__ = [
     "execute_record_task",
     "execute_plan_task",
     "execute_path_task",
+    "pool_worker_initializer",
     "EngineStats",
     "GLOBAL_STATS",
 ]

@@ -1,0 +1,175 @@
+"""Pool lifecycle and dispatch strategies for the analysis engine.
+
+The engine used to build a fresh ``ProcessPoolExecutor`` inside every stage
+dispatch and block on ``pool.map`` -- a hard barrier per stage, plus one
+pool spin-up/tear-down (and one cold worker-process state) per queue.
+:class:`PoolDispatcher` replaces that with two selectable strategies:
+
+* **streaming** (the default) -- one persistent pool per engine run,
+  created lazily on the first pooled dispatch with
+  :func:`~repro.engine.tasks.pool_worker_initializer` installed, reused by
+  every subsequent stage (``GLOBAL_STATS.pools_created`` /
+  ``GLOBAL_STATS.pool_reuses`` count both sides), and shut down by the
+  engine when the run finishes.  Work ships as futures -- chunked for wide
+  homogeneous queues, per-task for the plan→path scheduler -- and is
+  drained with ``as_completed``.
+* **barrier** -- the legacy strategy, kept as the A/B baseline for
+  ``benchmarks/bench_engine.py``: a fresh pool per dispatch, ``pool.map``
+  with a chunksize, full teardown afterwards.
+
+Both strategies preserve the serial fallback: payloads that cannot pickle
+(custom predicate closures) or a pool that cannot spawn (restricted
+environments) downgrade the dispatch to in-process execution of the same
+task code, and :attr:`PoolDispatcher.pool_unavailable` records that it
+happened so ``auto`` granularity stops fanning out per-path work no pool
+will run.  Results are bit-identical either way -- every task is
+deterministic, and callers merge in task order, never completion order.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.engine.stats import GLOBAL_STATS
+from repro.engine.tasks import execute_payload_chunk, pool_worker_initializer
+
+#: dispatch strategies (see EngineOptions.dispatch)
+DISPATCH_MODES = ("streaming", "barrier")
+
+
+class PoolDispatcher:
+    """Owns worker-pool dispatch for one engine run."""
+
+    def __init__(self, workers: Optional[int], mode: str = "streaming") -> None:
+        if mode not in DISPATCH_MODES:
+            raise ValueError(
+                f"unknown dispatch mode {mode!r}; "
+                f"expected one of {', '.join(DISPATCH_MODES)}"
+            )
+        self.workers = int(workers or 0)
+        self.mode = mode
+        #: a dispatch had to fall back to serial execution (advisory; the
+        #: engine's "auto" granularity reads it)
+        self.pool_unavailable = False
+        #: the persistent pool actually broke: stop pooling for this run
+        self._broken = False
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ----------------------------------------------------------- pool lease
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    def acquire(self) -> Optional[ProcessPoolExecutor]:
+        """The run's persistent pool (streaming mode), or None serially.
+
+        Created once per run on first use; every later acquisition reuses it
+        and counts a ``pool reuse``.  Callers that see the returned pool
+        raise :class:`BrokenProcessPool`/``OSError`` must report it via
+        :meth:`mark_broken` and fall back to serial execution.
+        """
+        if self.mode != "streaming" or not self.parallel or self._broken:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, initializer=pool_worker_initializer
+                )
+            except OSError:
+                self.mark_broken()
+                return None
+            GLOBAL_STATS.pools_created += 1
+        else:
+            GLOBAL_STATS.pool_reuses += 1
+        return self._pool
+
+    def acquire_for(self, payloads: Sequence[Dict]) -> Optional[ProcessPoolExecutor]:
+        """:meth:`acquire` gated on the payloads actually being poolable."""
+        if not payloads:
+            return None
+        if not payloads_picklable(payloads):
+            self.pool_unavailable = True
+            return None
+        return self.acquire()
+
+    def mark_broken(self) -> None:
+        """A pooled dispatch failed: downgrade the rest of the run to serial."""
+        self.pool_unavailable = True
+        self._broken = True
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Tear the persistent pool down (end of the engine run)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------- dispatch
+
+    def map(self, payloads: Sequence[Dict], worker: Callable) -> List[Dict]:
+        """Run one homogeneous work queue; results in payload order."""
+        if not payloads:
+            return []
+        if self.parallel and len(payloads) > 1:
+            if self.mode == "streaming":
+                pool = self.acquire_for(payloads)
+                if pool is not None:
+                    try:
+                        return self._map_streaming(pool, payloads, worker)
+                    except (BrokenProcessPool, OSError):
+                        self.mark_broken()
+            elif payloads_picklable(payloads):
+                try:
+                    return self._map_barrier(payloads, worker)
+                except (BrokenProcessPool, OSError):
+                    self.pool_unavailable = True
+            else:
+                self.pool_unavailable = True
+        return [worker(payload) for payload in payloads]
+
+    def _chunk_size(self, count: int) -> int:
+        return max(1, count // (self.workers * 4))
+
+    def _map_streaming(
+        self, pool: ProcessPoolExecutor, payloads: Sequence[Dict], worker: Callable
+    ) -> List[Dict]:
+        """Chunked futures on the persistent pool, drained as they complete."""
+        chunk = self._chunk_size(len(payloads))
+        futures = {
+            pool.submit(execute_payload_chunk, worker, list(payloads[start : start + chunk])): position
+            for position, start in enumerate(range(0, len(payloads), chunk))
+        }
+        chunks: List[Optional[List[Dict]]] = [None] * len(futures)
+        for future in as_completed(futures):
+            chunks[futures[future]] = future.result()
+        return [output for chunk_outputs in chunks for output in chunk_outputs]
+
+    def _map_barrier(self, payloads: Sequence[Dict], worker: Callable) -> List[Dict]:
+        """The legacy strategy: fresh pool, blocking map, teardown."""
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            GLOBAL_STATS.pools_created += 1
+            return list(pool.map(worker, payloads, chunksize=self._chunk_size(len(payloads))))
+
+
+def payloads_picklable(payloads: Sequence[Dict]) -> bool:
+    """Probe one payload per workload for picklability.
+
+    Payloads of the same workload share their program/predicates/trace
+    objects, so one representative suffices (a custom predicate closure
+    would fail the probe).
+    """
+    representatives = {payload.get("workload"): payload for payload in payloads}
+    return all(picklable(payload) for payload in representatives.values())
+
+
+def picklable(*objects) -> bool:
+    """Whether the payload can ship to a worker (e.g. lambda predicates can't)."""
+    try:
+        pickle.dumps(objects)
+    except Exception:  # noqa: BLE001 - any pickling failure means serial
+        return False
+    return True

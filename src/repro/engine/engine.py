@@ -23,21 +23,31 @@ independent explorations.  The engine exploits all three levels:
   :class:`~repro.engine.cache.ClassificationCache` is this stage's backing
   store: warm re-runs skip classification entirely.
 
+Dispatch is futures-based and **streaming** by default: one persistent
+process pool serves the whole batch run (``EngineOptions.dispatch``;
+see :mod:`repro.engine.dispatch`), and at path granularity a scheduler
+loop submits a race's :class:`~repro.engine.tasks.PathTask` futures the
+moment its :class:`~repro.engine.tasks.PlanTask` future completes, so
+plans and paths of different races interleave in flight instead of
+barriering between queues.
+
 Determinism: every random decision during classification derives from
-``PortendConfig.race_seed(race_id, path_index)``, so the engine produces
-classifications bit-identical to the serial path regardless of worker
-count, task granularity, or completion order.
+``PortendConfig.race_seed(race_id, path_index)``, and partial results are
+keyed by ``(recording index, race_id, path_index)`` and merged in path
+order, so the engine produces classifications bit-identical to the serial
+path regardless of worker count, task granularity, dispatch strategy, or
+completion order.
 """
 
 from __future__ import annotations
 
 import itertools
 import os
-import pickle
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.categories import ClassifiedRace
 from repro.core.classifier import (
@@ -48,6 +58,7 @@ from repro.core.classifier import (
 from repro.core.config import PortendConfig
 from repro.core.multi_path import PathVerdict, merge_path_verdicts
 from repro.engine.cache import ClassificationCache, TraceCache
+from repro.engine.dispatch import DISPATCH_MODES, PoolDispatcher, picklable
 from repro.engine.stats import GLOBAL_STATS
 from repro.engine.tasks import (
     ClassificationTask,
@@ -56,11 +67,11 @@ from repro.engine.tasks import (
     RecordTask,
     execute_path_task,
     execute_plan_task,
-    execute_program_task,
     execute_record_task,
     execute_task,
 )
 from repro.record_replay.trace import ExecutionTrace
+from repro.symex.solver import reset_worker_caches
 from repro.workloads import Workload, all_workloads, load_workload
 
 #: stage-3 task granularities (see EngineOptions.granularity)
@@ -94,6 +105,10 @@ class EngineOptions:
     #: on-disk entry bound for each cache layer (LRU-evicted beyond it);
     #: None means unbounded
     cache_max_entries: Optional[int] = None
+    #: pool dispatch strategy: "streaming" keeps one persistent pool for the
+    #: whole run and overlaps the plan and path queues; "barrier" is the
+    #: legacy fresh-pool-per-stage behaviour, kept for A/B measurement
+    dispatch: str = "streaming"
 
 
 def choose_granularity(distinct_races: int, workers: int) -> str:
@@ -158,6 +173,9 @@ class AnalysisEngine:
                 f"unknown granularity {self.options.granularity!r}; "
                 f"expected one of {', '.join(GRANULARITIES)}"
             )
+        #: owns the run's persistent pool and the serial fallback (validates
+        #: options.dispatch against DISPATCH_MODES)
+        self._dispatcher = PoolDispatcher(self.options.parallel, self.options.dispatch)
         self.cache = (
             TraceCache(self.options.cache_dir, max_entries=self.options.cache_max_entries)
             if self.options.cache_dir
@@ -170,9 +188,11 @@ class AnalysisEngine:
             if self.options.cache_dir
             else None
         )
-        #: set when a dispatch had to fall back to serial execution; lets
-        #: "auto" granularity stop fanning out per-path work no pool will run
-        self._pool_unavailable = False
+    @property
+    def _pool_unavailable(self) -> bool:
+        """A dispatch had to fall back to serial execution; lets "auto"
+        granularity stop fanning out per-path work no pool will run."""
+        return self._dispatcher.pool_unavailable
 
     # --------------------------------------------------------------- recording
 
@@ -181,7 +201,10 @@ class AnalysisEngine:
 
         Returns ``(trace, detection_seconds, was_cached)``.
         """
-        recording = self._record_stage([workload])[0]
+        try:
+            recording = self._record_stage([workload])[0]
+        finally:
+            self._dispatcher.shutdown()
         return recording.trace, recording.detection_seconds, recording.cached
 
     def _record_stage(self, workloads: Sequence[Workload]) -> List[_Recording]:
@@ -246,9 +269,21 @@ class AnalysisEngine:
         return self.analyze_workloads(workloads)
 
     def analyze_workloads(self, workloads: Sequence[Workload]) -> List[EngineRun]:
-        """Record every workload, then classify all races as staged queues."""
-        recordings = self._record_stage(workloads)
-        return self._classification_stage(recordings)
+        """Record every workload, then classify all races as staged queues.
+
+        One batch run: the dispatcher's persistent pool (streaming mode) is
+        created lazily by the first pooled dispatch, reused by every later
+        stage, and torn down when the run finishes.  The driving process's
+        worker-lifetime solver caches start fresh per run (pool workers get
+        the same via the pool initializer), so runs cannot observe each
+        other's warm state.
+        """
+        reset_worker_caches()
+        try:
+            recordings = self._record_stage(workloads)
+            return self._classification_stage(recordings)
+        finally:
+            self._dispatcher.shutdown()
 
     # ---------------------------------------------------------------- stage 3
 
@@ -288,15 +323,22 @@ class AnalysisEngine:
             predicates = list(workload.predicates)
             if self.options.use_semantic_predicates:
                 predicates += list(workload.semantic_predicates)
-            contexts.append({"predicates": tuple(predicates)})
-            program_fingerprint = ""
+            # The record stage already hashed this program; only compute when
+            # the recording predates fingerprinting (no trace cache).  The
+            # fingerprint keys the classification cache *and* the workers'
+            # worker-lifetime solver caches, so it is computed regardless of
+            # whether an on-disk cache is configured.
+            program_fingerprint = recording.program_fingerprint or (
+                TraceCache.program_fingerprint(workload.program)
+            )
+            contexts.append(
+                {
+                    "predicates": tuple(predicates),
+                    "program_fingerprint": program_fingerprint,
+                }
+            )
             predicate_fingerprint = ""
             if self.classification_cache is not None:
-                # The record stage already hashed this program; only compute
-                # when the recording predates fingerprinting (no trace cache).
-                program_fingerprint = recording.program_fingerprint or (
-                    TraceCache.program_fingerprint(workload.program)
-                )
                 predicate_fingerprint = ClassificationCache.predicate_fingerprint(predicates)
             for race in recording.trace.races:
                 key = ""
@@ -379,7 +421,7 @@ class AnalysisEngine:
                 race_misses.append(miss)
                 continue
             if index not in shippable:
-                shippable[index] = _picklable(
+                shippable[index] = picklable(
                     recordings[index].workload.program, contexts[index]["predicates"]
                 )
             (path_misses if shippable[index] else race_misses).append(miss)
@@ -403,6 +445,7 @@ class AnalysisEngine:
             program=recordings[index].workload.program,
             predicates=contexts[index]["predicates"],
             trace_token=contexts[index]["trace_token"],
+            program_fingerprint=contexts[index]["program_fingerprint"],
             **extra,
         ).to_payload()
 
@@ -442,53 +485,167 @@ class AnalysisEngine:
         self, recordings, contexts, misses, slots, config_data
     ) -> None:
         """Stage 3 at (race, primary-path) granularity: plan → paths → merge."""
+        if not misses:
+            return
         plan_payloads = [
             self._task_payload(
                 PlanTask, recordings, contexts, config_data, index, race_id
             )
             for index, race_id, _key in misses
         ]
+        plans: Optional[List[Dict]] = None
+        partials: Dict[Tuple[int, int], List[Dict]] = {}
+        pool = self._dispatcher.acquire_for(plan_payloads)
+        if pool is not None:
+            try:
+                plans, partials = self._stream_plan_paths(
+                    pool, recordings, contexts, misses, config_data, plan_payloads
+                )
+            except (BrokenProcessPool, OSError):
+                # Pool died mid-stream: nothing was merged or stored yet (and
+                # no stats were absorbed), so the barrier path below can
+                # re-run the whole miss set serially from scratch.
+                self._dispatcher.mark_broken()
+                plans = None
+        if plans is None:
+            plans, partials = self._barrier_plan_paths(
+                recordings, contexts, misses, config_data, plan_payloads
+            )
+        self._merge_path_results(recordings, misses, plans, partials, slots)
+
+    def _path_payloads(
+        self, recordings, contexts, config_data, index: int, race_id: int, plan: Dict
+    ) -> Iterator[Dict]:
+        """One PathTask payload per primary path of an inconclusive plan.
+
+        Embeds the plan's serialized primary so the worker classifies from
+        shipped data instead of re-exploring the BFS prefix.
+        """
+        if not plan["needs_paths"]:
+            return
+        ship = self.options.ship_primaries
+        primaries = plan.get("primaries") or []
+        for path_index in range(plan["path_count"]):
+            extra: Dict = {"path_index": path_index}
+            if ship and path_index < len(primaries):
+                extra["primary"] = primaries[path_index]
+            yield self._task_payload(
+                PathTask, recordings, contexts, config_data, index, race_id, **extra
+            )
+
+    def _stream_plan_paths(
+        self, pool, recordings, contexts, misses, config_data, plan_payloads
+    ) -> Tuple[List[Dict], Dict[Tuple[int, int], List[Dict]]]:
+        """The streaming scheduler: dispatch paths the moment their plan lands.
+
+        Every plan is submitted up front as its own future; the drain loop
+        then reacts to whichever future completes first.  A finished plan
+        immediately submits its race's path tasks onto the same pool, so the
+        path queue of an early race runs while later races are still
+        planning -- the plan and path stages *overlap* instead of
+        barriering, and the pool never idles behind the slowest plan.
+        Completion order is free to vary: results are keyed by
+        ``(recording index, race_id, path_index)`` and the merge consumes
+        them in deterministic path order.
+        """
+        from repro.engine.tasks import execute_payload_chunk
+
+        plans: List[Optional[Dict]] = [None] * len(misses)
+        partials: Dict[Tuple[int, int], List[Dict]] = {}
+        pending: Dict[object, Tuple[str, object]] = {}
+        for position, payload in enumerate(plan_payloads):
+            pending[pool.submit(execute_plan_task, payload)] = ("plan", position)
+        plans_in_flight = len(pending)
+        paths_in_flight = 0
+        path_batches = 0
+        workers = max(1, self.options.parallel or 1)
+        overlap = _OverlapClock()
+        while pending:
+            done, _not_done = wait(set(pending), return_when=FIRST_COMPLETED)
+            for future in done:
+                kind, ref = pending.pop(future)
+                output = future.result()
+                if kind == "plan":
+                    plans_in_flight -= 1
+                    plans[ref] = output
+                    index, race_id, _key = misses[ref]
+                    payloads = list(
+                        self._path_payloads(
+                            recordings, contexts, config_data, index, race_id, output
+                        )
+                    )
+                    if payloads:
+                        # The race's path batch goes out the moment its plan
+                        # lands, split into at most ``workers`` chunks: wide
+                        # enough to spread one race across the whole pool,
+                        # chunked enough that the shared trace dict pickles
+                        # once per chunk instead of once per path.
+                        path_batches += 1
+                        step = -(-len(payloads) // workers)  # ceil division
+                        for start in range(0, len(payloads), step):
+                            chunk_future = pool.submit(
+                                execute_payload_chunk,
+                                execute_path_task,
+                                payloads[start : start + step],
+                            )
+                            pending[chunk_future] = ("paths", (index, race_id))
+                            paths_in_flight += 1
+                else:
+                    paths_in_flight -= 1
+                    partials.setdefault(ref, []).extend(output)
+                overlap.update(plans_in_flight, paths_in_flight)
+        # Absorb counters only after the full drain succeeded: a mid-stream
+        # pool failure discards these results and re-runs, and must not
+        # leave counts for dispatches that produced nothing.
+        GLOBAL_STATS.stage_overlap_seconds += overlap.total()
+        GLOBAL_STATS.pool_reuses += path_batches
+        for plan in plans:
+            GLOBAL_STATS.absorb_solver(plan.get("solver"))
+        for outputs in partials.values():
+            for output in outputs:
+                self._absorb_path_output(output)
+        return plans, partials
+
+    def _barrier_plan_paths(
+        self, recordings, contexts, misses, config_data, plan_payloads
+    ) -> Tuple[List[Dict], Dict[Tuple[int, int], List[Dict]]]:
+        """The barrier scheduler: all plans, then all paths, as two queues.
+
+        Also the serial fallback -- with no pool, ``_dispatch`` runs the
+        identical task code in-process, and interleaving would buy nothing.
+        """
         plans = list(self._dispatch(plan_payloads, execute_plan_task))
         for plan in plans:
             GLOBAL_STATS.absorb_solver(plan.get("solver"))
-
-        # Fan inconclusive races out into one PathTask per primary path,
-        # embedding the plan's serialized primary so the worker classifies
-        # from shipped data instead of re-exploring the BFS prefix.
-        ship = self.options.ship_primaries
         path_payloads: List[Dict] = []
         path_refs: List[Tuple[int, int]] = []
         for (index, race_id, _key), plan in zip(misses, plans):
-            if not plan["needs_paths"]:
-                continue
-            primaries = plan.get("primaries") or []
-            for path_index in range(plan["path_count"]):
-                extra: Dict = {"path_index": path_index}
-                if ship and path_index < len(primaries):
-                    extra["primary"] = primaries[path_index]
-                path_payloads.append(
-                    self._task_payload(
-                        PathTask,
-                        recordings,
-                        contexts,
-                        config_data,
-                        index,
-                        race_id,
-                        **extra,
-                    )
-                )
+            for payload in self._path_payloads(
+                recordings, contexts, config_data, index, race_id, plan
+            ):
+                path_payloads.append(payload)
                 path_refs.append((index, race_id))
-
         partials: Dict[Tuple[int, int], List[Dict]] = {}
         for ref, output in zip(path_refs, self._dispatch(path_payloads, execute_path_task)):
-            GLOBAL_STATS.absorb_solver(output.get("solver"))
-            if output.get("reexplored"):
-                GLOBAL_STATS.primaries_reexplored += 1
-            else:
-                GLOBAL_STATS.primaries_shipped += 1
+            self._absorb_path_output(output)
             partials.setdefault(ref, []).append(output)
+        return plans, partials
 
-        # Deterministic merge: recombine partial verdicts in path order.
+    @staticmethod
+    def _absorb_path_output(output: Dict) -> None:
+        GLOBAL_STATS.absorb_solver(output.get("solver"))
+        if output.get("reexplored"):
+            GLOBAL_STATS.primaries_reexplored += 1
+        else:
+            GLOBAL_STATS.primaries_shipped += 1
+
+    def _merge_path_results(self, recordings, misses, plans, partials, slots) -> None:
+        """Deterministic merge: recombine partial verdicts in path order.
+
+        Pure function of the (plan, partial-verdict) data, so both schedulers
+        -- and any completion order within the streaming one -- produce
+        bit-identical ``ClassifiedRace`` results.
+        """
         races_by_id = {
             index: recordings[index].trace.races_by_id()
             for index in {index for index, _race_id, _key in misses}
@@ -518,29 +675,35 @@ class AnalysisEngine:
     # ---------------------------------------------------------------- dispatch
 
     def _dispatch(self, payloads: Sequence[Dict], worker: Callable) -> List[Dict]:
-        """Run one stage's work queue, in a process pool or serially in-process."""
-        if not payloads:
-            return []
-        workers = self.options.parallel
-        # Probe one payload per workload for picklability: payloads of the
-        # same workload share their program/predicates/trace objects, so one
-        # representative suffices (a custom predicate closure would fail).
-        representatives = list({p["workload"]: p for p in payloads}.values())
-        if workers and workers > 1 and len(payloads) > 1:
-            if all(_picklable(p) for p in representatives):
-                try:
-                    with ProcessPoolExecutor(max_workers=workers) as pool:
-                        chunk = max(1, len(payloads) // (workers * 4))
-                        return list(pool.map(worker, payloads, chunksize=chunk))
-                except (BrokenProcessPool, OSError):
-                    # Pool unavailable (restricted environment, spawn
-                    # failure): fall back to the serial path, which runs the
-                    # same task code.  Genuine analysis errors re-raise;
-                    # they are not caught.
-                    self._pool_unavailable = True
-            else:
-                self._pool_unavailable = True
-        return [worker(payload) for payload in payloads]
+        """Run one stage's work queue, in a process pool or serially in-process.
+
+        Streaming mode reuses the run's persistent pool; barrier mode builds
+        a fresh pool per call; both fall back to executing the same task
+        code serially when no pool can be used (see
+        :class:`~repro.engine.dispatch.PoolDispatcher`).
+        """
+        return self._dispatcher.map(payloads, worker)
+
+
+class _OverlapClock:
+    """Accumulates wall-clock time during which both stages are in flight."""
+
+    def __init__(self) -> None:
+        self._since: Optional[float] = None
+        self._total = 0.0
+
+    def update(self, plans_in_flight: int, paths_in_flight: int) -> None:
+        now = time.perf_counter()
+        overlapping = plans_in_flight > 0 and paths_in_flight > 0
+        if overlapping and self._since is None:
+            self._since = now
+        elif not overlapping and self._since is not None:
+            self._total += now - self._since
+            self._since = None
+
+    def total(self) -> float:
+        self.update(0, 0)
+        return self._total
 
 
 def classify_races_parallel(
@@ -550,38 +713,43 @@ def classify_races_parallel(
     config: PortendConfig,
     predicates: Sequence = (),
     workers: int = 2,
+    dispatch: str = "streaming",
 ) -> List[ClassifiedRace]:
     """Classify the races of one (possibly unregistered) program in parallel.
 
     Backs ``Portend.classify_trace(parallel=N)``: the program and predicates
-    ship to the workers by pickle, the trace as its JSON wire format.  Falls
-    back to serial in-process execution when the pool cannot be used (e.g.
-    predicates that do not pickle).
+    ship to the workers by pickle, the trace as its JSON wire format.  Runs
+    on the same :class:`~repro.engine.dispatch.PoolDispatcher` as the batch
+    engine -- chunked task payloads, the worker-lifetime solver cache keyed
+    by the program's content fingerprint, serial in-process fallback when
+    the pool cannot be used (e.g. predicates that do not pickle) -- and
+    feeds the tasks' solver snapshots into ``GLOBAL_STATS`` exactly as an
+    engine run would.
     """
     trace_data = trace.to_dict()
     config_data = config.to_dict()
-    arguments = [
-        (program, trace_data, race.race_id, config_data, list(predicates))
+    trace_token = f"{os.getpid()}:{next(_TRACE_TOKENS)}"
+    fingerprint = TraceCache.program_fingerprint(program)
+    payloads = [
+        ClassificationTask(
+            workload=program.name,
+            race_id=race.race_id,
+            trace=trace_data,
+            config=config_data,
+            program=program,
+            predicates=tuple(predicates),
+            trace_token=trace_token,
+            program_fingerprint=fingerprint,
+        ).to_payload()
         for race in races
     ]
-    if workers and workers > 1 and len(arguments) > 1 and _picklable(program, predicates):
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(execute_program_task, *args) for args in arguments]
-                return [ClassifiedRace.from_dict(f.result()) for f in futures]
-        except (BrokenProcessPool, OSError):
-            # Pool unavailable (restricted environment, spawn failure) --
-            # genuine classification errors re-raise, they are not caught.
-            pass
-    return [
-        ClassifiedRace.from_dict(execute_program_task(*args)) for args in arguments
-    ]
-
-
-def _picklable(*objects) -> bool:
-    """Whether the payload can ship to a worker (e.g. lambda predicates can't)."""
+    dispatcher = PoolDispatcher(workers, dispatch)
     try:
-        pickle.dumps(objects)
-    except Exception:  # noqa: BLE001 - any pickling failure means serial
-        return False
-    return True
+        outputs = dispatcher.map(payloads, execute_task)
+    finally:
+        dispatcher.shutdown()
+    classified: List[ClassifiedRace] = []
+    for output in outputs:
+        GLOBAL_STATS.absorb_solver(output.get("solver"))
+        classified.append(ClassifiedRace.from_dict(output["classified"]))
+    return classified

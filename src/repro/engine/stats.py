@@ -43,6 +43,16 @@ class EngineStats:
     solver_cache_misses: int = 0
     #: concrete assignments enumerated by the bounded solver
     solver_assignments_enumerated: int = 0
+    #: the subset of solver cache hits served from a worker-lifetime entry
+    #: written by an earlier task of the same process
+    worker_cache_hits: int = 0
+    #: ProcessPoolExecutor constructions (streaming: one per engine run)
+    pools_created: int = 0
+    #: dispatches served by an already-running persistent pool
+    pool_reuses: int = 0
+    #: wall-clock seconds during which plan and path futures of the
+    #: streaming scheduler were simultaneously in flight
+    stage_overlap_seconds: float = 0.0
 
     def reset(self) -> None:
         self.traces_recorded = 0
@@ -55,6 +65,10 @@ class EngineStats:
         self.solver_cache_hits = 0
         self.solver_cache_misses = 0
         self.solver_assignments_enumerated = 0
+        self.worker_cache_hits = 0
+        self.pools_created = 0
+        self.pool_reuses = 0
+        self.stage_overlap_seconds = 0.0
 
     def absorb_solver(self, payload) -> None:
         """Fold one task's solver-counter snapshot into the aggregate.
@@ -71,6 +85,7 @@ class EngineStats:
         self.solver_cache_hits += payload.get("cache_hits", 0)
         self.solver_cache_misses += payload.get("cache_misses", 0)
         self.solver_assignments_enumerated += payload.get("enumerated_assignments", 0)
+        self.worker_cache_hits += payload.get("worker_cache_hits", 0)
 
     def summary(self) -> str:
         return (
@@ -83,7 +98,11 @@ class EngineStats:
             f"solver queries={self.solver_queries} "
             f"(cache hits={self.solver_cache_hits}, "
             f"misses={self.solver_cache_misses}), "
-            f"solver assignments enumerated={self.solver_assignments_enumerated}"
+            f"solver assignments enumerated={self.solver_assignments_enumerated}, "
+            f"worker-cache hits={self.worker_cache_hits}, "
+            f"pools created={self.pools_created}, "
+            f"pool reuses={self.pool_reuses}, "
+            f"stage overlap seconds={self.stage_overlap_seconds:.2f}"
         )
 
 

@@ -59,6 +59,10 @@ class ClassificationTask:
     #: token carry byte-identical trace dicts, letting the executing process
     #: memoize the deserialized ExecutionTrace (see :func:`_resolve_trace`)
     trace_token: Optional[str] = None
+    #: program content hash; when present the executing process attaches its
+    #: solver to the worker-lifetime cache of this program (see
+    #: :func:`repro.symex.solver.worker_solver_cache`)
+    program_fingerprint: str = ""
 
     def to_payload(self) -> Dict:
         payload = {
@@ -70,6 +74,8 @@ class ClassificationTask:
         }
         if self.trace_token is not None:
             payload["trace_token"] = self.trace_token
+        if self.program_fingerprint:
+            payload["program_fingerprint"] = self.program_fingerprint
         if self.program is not None:
             payload["program"] = self.program
             payload["predicates"] = list(self.predicates or ())
@@ -87,6 +93,7 @@ class ClassificationTask:
             program=payload.get("program"),
             predicates=tuple(predicates) if predicates is not None else None,
             trace_token=payload.get("trace_token"),
+            program_fingerprint=payload.get("program_fingerprint", ""),
         )
 
 
@@ -143,6 +150,47 @@ def _solver_snapshot(portend) -> Dict:
     return portend.executor.solver.stats.to_dict()
 
 
+def _build_portend(task, program, config, predicates):
+    """A per-task Portend whose solver joins the worker-lifetime cache.
+
+    Every task still gets a fresh :class:`~repro.symex.solver.Solver` (so its
+    stats snapshot is the task's delta), but when the payload names a program
+    fingerprint the solver's memo dicts are the process-shared ones for that
+    program: identical constraint-set queries across the races and primary
+    paths of one workload hit warm entries instead of re-enumerating.
+    """
+    from repro.core.portend import Portend
+    from repro.symex.solver import Solver, worker_solver_cache
+
+    solver = None
+    if task.program_fingerprint:
+        solver = Solver(shared_cache=worker_solver_cache(task.program_fingerprint))
+    return Portend(program, config=config, predicates=predicates, solver=solver)
+
+
+def pool_worker_initializer() -> None:
+    """Runs once in each fresh pool worker process.
+
+    Installs clean worker-lifetime state: the solver memos of
+    :mod:`repro.symex.solver` and this module's trace memo both start empty,
+    so nothing leaks between engine runs that happen to recycle a worker
+    (``fork`` start methods inherit the parent's module state).
+    """
+    from repro.symex.solver import reset_worker_caches
+
+    reset_worker_caches()
+    _TRACE_MEMO.clear()
+
+
+def execute_payload_chunk(worker, payloads: Sequence[Mapping]) -> list:
+    """Run one worker entry point over a chunk of payloads (worker side).
+
+    The streaming dispatcher batches wide queues into chunks to amortize the
+    per-future submission overhead, mirroring ``pool.map``'s ``chunksize``.
+    """
+    return [worker(payload) for payload in payloads]
+
+
 def execute_task(payload: Mapping) -> Dict:
     """Classify one race of a workload (worker entry point).
 
@@ -150,13 +198,11 @@ def execute_task(payload: Mapping) -> Dict:
     pickle it.  Returns the classified race plus the task's solver counters
     (the driving process aggregates them into ``repro.engine.stats``).
     """
-    from repro.core.portend import Portend
-
     task = ClassificationTask.from_payload(payload)
     program, predicates = _resolve_program(task)
     config = PortendConfig.from_dict(task.config)
     trace = _resolve_trace(task)
-    portend = Portend(program, config=config, predicates=predicates)
+    portend = _build_portend(task, program, config, predicates)
     race = trace.race_by_id(task.race_id)
     classified = portend.classify_race(trace, race).to_dict()
     return {"classified": classified, "solver": _solver_snapshot(portend)}
@@ -243,14 +289,13 @@ class PlanTask(ClassificationTask):
 def execute_plan_task(payload: Mapping) -> Dict:
     """Run the single stage for one race and plan its path fan-out."""
     from repro.core.classifier import needs_multipath, run_single_stage
-    from repro.core.portend import Portend
     from repro.explore.paths import MultiPathExplorer
 
     task = PlanTask.from_payload(payload)
     program, predicates = _resolve_program(task)
     config = PortendConfig.from_dict(task.config)
     trace = _resolve_trace(task)
-    portend = Portend(program, config=config, predicates=predicates)
+    portend = _build_portend(task, program, config, predicates)
     race = trace.race_by_id(task.race_id)
 
     started = time.perf_counter()
@@ -322,14 +367,13 @@ class PathTask(ClassificationTask):
 def execute_path_task(payload: Mapping) -> Dict:
     """Analyze one primary path of one race (worker entry point)."""
     from repro.core.multi_path import analyze_primary_path
-    from repro.core.portend import Portend
     from repro.explore.paths import PrimaryPath, explore_primary
 
     task = PathTask.from_payload(payload)
     program, predicates = _resolve_program(task)
     config = PortendConfig.from_dict(task.config)
     trace = _resolve_trace(task)
-    portend = Portend(program, config=config, predicates=predicates)
+    portend = _build_portend(task, program, config, predicates)
     race = trace.race_by_id(task.race_id)
 
     started = time.perf_counter()
@@ -372,18 +416,3 @@ def execute_path_task(payload: Mapping) -> Dict:
     }
 
 
-def execute_program_task(
-    program,
-    trace_data: Mapping,
-    race_id: int,
-    config_data: Mapping,
-    predicates: Sequence = (),
-) -> Dict:
-    """Classify one race of an arbitrary (pickled) program."""
-    from repro.core.portend import Portend
-
-    config = PortendConfig.from_dict(dict(config_data))
-    trace = ExecutionTrace.from_dict(dict(trace_data))
-    portend = Portend(program, config=config, predicates=predicates)
-    race = trace.race_by_id(race_id)
-    return portend.classify_race(trace, race).to_dict()

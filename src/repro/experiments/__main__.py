@@ -77,6 +77,15 @@ def main(argv=None) -> int:
         "ones) and stays at 'race' serially",
     )
     parser.add_argument(
+        "--dispatch",
+        default="streaming",
+        choices=["streaming", "barrier"],
+        help="pool dispatch strategy under --parallel: 'streaming' keeps one "
+        "persistent worker pool for the whole run and overlaps the plan and "
+        "path queues; 'barrier' is the legacy fresh-pool-per-stage behaviour "
+        "(kept for A/B comparison)",
+    )
+    parser.add_argument(
         "--cache-max-entries",
         type=int,
         default=None,
@@ -122,6 +131,7 @@ def main(argv=None) -> int:
             cache_dir=args.cache_dir,
             granularity=args.granularity,
             cache_max_entries=args.cache_max_entries,
+            dispatch=args.dispatch,
         )
 
     for name in names:
@@ -133,6 +143,7 @@ def main(argv=None) -> int:
                 parallel=args.parallel,
                 cache_dir=args.cache_dir,
                 granularity=args.granularity,
+                dispatch=args.dispatch,
                 **kwargs,
             )
         else:

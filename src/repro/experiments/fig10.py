@@ -27,6 +27,7 @@ def run(
     parallel: int = 0,
     cache_dir: Optional[str] = None,
     granularity: str = "auto",
+    dispatch: str = "streaming",
 ) -> Fig10Result:
     base = base_config or PortendConfig()
     result = Fig10Result()
@@ -41,6 +42,7 @@ def run(
                 parallel=parallel,
                 cache_dir=cache_dir,
                 granularity=granularity,
+                dispatch=dispatch,
             )
             score = score_workload(workload, run_.result.classified)
             result.accuracy[name][k] = score.accuracy

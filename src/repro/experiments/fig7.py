@@ -40,6 +40,7 @@ def run(
     parallel: int = 0,
     cache_dir: Optional[str] = None,
     granularity: str = "auto",
+    dispatch: str = "streaming",
 ) -> Fig7Result:
     base = base_config or PortendConfig()
     result = Fig7Result()
@@ -53,6 +54,7 @@ def run(
                 parallel=parallel,
                 cache_dir=cache_dir,
                 granularity=granularity,
+                dispatch=dispatch,
             )
             score = score_workload(workload, run_.result.classified)
             result.accuracy[name][technique] = score.accuracy

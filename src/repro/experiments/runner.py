@@ -55,6 +55,7 @@ def _engine(
     cache_dir: Optional[str],
     granularity: str,
     cache_max_entries: Optional[int] = None,
+    dispatch: str = "streaming",
 ) -> AnalysisEngine:
     return AnalysisEngine(
         config=config,
@@ -64,6 +65,7 @@ def _engine(
             use_semantic_predicates=use_semantic_predicates,
             granularity=granularity,
             cache_max_entries=cache_max_entries,
+            dispatch=dispatch,
         ),
     )
 
@@ -100,11 +102,12 @@ def analyze_workload(
     cache_dir: Optional[str] = None,
     granularity: str = "auto",
     cache_max_entries: Optional[int] = None,
+    dispatch: str = "streaming",
 ) -> WorkloadRun:
     """Run detection + classification for one workload."""
     engine = _engine(
         config, use_semantic_predicates, parallel, cache_dir, granularity,
-        cache_max_entries,
+        cache_max_entries, dispatch,
     )
     engine_runs = engine.analyze_workloads([workload])
     return _wrap_runs(engine, engine_runs, use_semantic_predicates, measure_plain_time)[0]
@@ -120,13 +123,16 @@ def analyze_all(
     cache_dir: Optional[str] = None,
     granularity: str = "auto",
     cache_max_entries: Optional[int] = None,
+    dispatch: str = "streaming",
 ) -> List[WorkloadRun]:
     """Run Portend over a set of workloads (default: the full Table 1 list).
 
     ``parallel`` dispatches the staged record/classify queues over a process
     pool; ``cache_dir`` reuses recorded traces *and* classifications across
     invocations; ``granularity`` picks the stage-3 task grain ("race",
-    "path", or "auto" -- see :class:`repro.engine.EngineOptions`).
+    "path", or "auto"); ``dispatch`` picks the pool strategy ("streaming"
+    persistent-pool futures or the legacy "barrier" -- see
+    :class:`repro.engine.EngineOptions`).
     """
     if names is None:
         workloads = all_workloads(include_micro=include_micro)
@@ -134,7 +140,7 @@ def analyze_all(
         workloads = [load_workload(name) for name in names]
     engine = _engine(
         config, use_semantic_predicates, parallel, cache_dir, granularity,
-        cache_max_entries,
+        cache_max_entries, dispatch,
     )
     engine_runs = engine.analyze_workloads(workloads)
     return _wrap_runs(engine, engine_runs, use_semantic_predicates, measure_plain_time)

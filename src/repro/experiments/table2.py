@@ -44,6 +44,7 @@ def run(
     parallel: int = 0,
     cache_dir: Optional[str] = None,
     granularity: str = "auto",
+    dispatch: str = "streaming",
 ) -> List[Table2Row]:
     config = config or PortendConfig()
     rows: List[Table2Row] = []
@@ -60,6 +61,7 @@ def run(
             parallel=parallel,
             cache_dir=cache_dir,
             granularity=granularity,
+            dispatch=dispatch,
         )
         classified = run_result.result.classified
         rows.append(

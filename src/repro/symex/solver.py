@@ -31,6 +31,19 @@ each of Ma alternate schedules -- enumerate assignments exactly once.  The
 cache is deterministic: a hit returns bit-identically what the miss
 computed, so cached and uncached runs classify identically (asserted by the
 test suite).
+
+On top of the per-instance memo, the module keeps **worker-lifetime** cache
+state (:class:`WorkerSolverCache`, keyed by program content fingerprint via
+:func:`worker_solver_cache`).  A solver constructed with ``shared_cache``
+reads and writes that shared state instead of a private dict, so the many
+short-lived solvers of one worker process -- the engine builds one per
+dispatched task -- share warm entries across the races and primary paths of
+one workload.  Hits on entries written by an *earlier* solver of the same
+process are counted separately (``SolverStats.worker_cache_hits``); the
+engine's pool initializer resets the state per worker, and the engine
+resets it in the driving process at the start of each batch run.  Sharing
+is safe for the same reason caching is: a warm hit returns bit-identically
+what the miss would have computed.
 """
 
 from __future__ import annotations
@@ -75,6 +88,9 @@ class SolverStats:
     cache_hits: int = 0
     #: queries that had to run the narrowing/enumeration machinery
     cache_misses: int = 0
+    #: the subset of ``cache_hits`` served from an entry written by an
+    #: earlier solver of the same process (worker-lifetime cache sharing)
+    worker_cache_hits: int = 0
 
     def reset(self) -> None:
         self.queries = 0
@@ -83,6 +99,7 @@ class SolverStats:
         self.unknown_answers = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.worker_cache_hits = 0
 
     def to_dict(self) -> Dict[str, int]:
         """JSON-clean snapshot (travels back from engine worker tasks)."""
@@ -93,6 +110,7 @@ class SolverStats:
             "unknown_answers": self.unknown_answers,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "worker_cache_hits": self.worker_cache_hits,
         }
 
 
@@ -108,6 +126,62 @@ def set_cache_enabled_default(enabled: bool) -> bool:
     previous = CACHE_ENABLED_DEFAULT
     CACHE_ENABLED_DEFAULT = bool(enabled)
     return previous
+
+
+# ----------------------------------------------------- worker-lifetime cache
+
+
+@dataclass
+class WorkerSolverCache:
+    """Process-lifetime solver memo shared by the solvers of one program.
+
+    The entry dicts use the same keys as a private solver memo; values are
+    tagged with the attachment id of the solver that wrote them, so a later
+    solver can tell a warm cross-task hit from a hit on its own entry.
+    """
+
+    #: frozenset(constraints) -> (owner, verdict, model)
+    check: Dict[frozenset, Tuple[int, "SolverResult", Optional[Dict[str, int]]]] = field(
+        default_factory=dict
+    )
+    #: (frozenset(constraints), expr) -> (owner, (lo, hi) or None)
+    ranges: Dict[Tuple[frozenset, "Value"], Tuple[int, object]] = field(
+        default_factory=dict
+    )
+    #: solvers that have attached so far (also the next owner id)
+    attachments: int = 0
+
+
+#: per-process shared caches, keyed by program content fingerprint
+#: (insertion order doubles as recency order: lookups re-insert)
+_WORKER_CACHES: Dict[str, WorkerSolverCache] = {}
+
+#: distinct program fingerprints kept warm per process before evicting;
+#: comfortably above the full Table-1-plus-synthetics batch so one
+#: ``experiments all`` run never thrashes its own working set
+_WORKER_CACHE_LIMIT = 16
+
+
+def worker_solver_cache(fingerprint: str) -> WorkerSolverCache:
+    """The worker-lifetime cache for one program (created on first use).
+
+    Bounded LRU: every lookup refreshes the fingerprint's recency, and a
+    new fingerprint beyond the bound evicts only the least-recently-used
+    program's state -- interleaved tasks of a multi-program batch keep
+    their hot entries.
+    """
+    state = _WORKER_CACHES.pop(fingerprint, None)
+    if state is None:
+        if len(_WORKER_CACHES) >= _WORKER_CACHE_LIMIT:
+            _WORKER_CACHES.pop(next(iter(_WORKER_CACHES)))
+        state = WorkerSolverCache()
+    _WORKER_CACHES[fingerprint] = state
+    return state
+
+
+def reset_worker_caches() -> None:
+    """Drop all worker-lifetime cache state (pool initializer / run start)."""
+    _WORKER_CACHES.clear()
 
 
 @dataclass
@@ -134,18 +208,28 @@ class Solver:
     CACHE_LIMIT = 65_536
 
     def __init__(
-        self, max_assignments: int = 200_000, enable_cache: Optional[bool] = None
+        self,
+        max_assignments: int = 200_000,
+        enable_cache: Optional[bool] = None,
+        shared_cache: Optional[WorkerSolverCache] = None,
     ) -> None:
         self.max_assignments = max_assignments
         self.stats = SolverStats()
         self.enable_cache = (
             CACHE_ENABLED_DEFAULT if enable_cache is None else bool(enable_cache)
         )
-        #: constraint-set fingerprint -> (verdict, model); shared by every
-        #: query kind that funnels into :meth:`check`
-        self._check_cache: Dict[frozenset, Tuple[SolverResult, Optional[Dict[str, int]]]] = {}
-        #: (constraint-set fingerprint, expr) -> (lo, hi) or None
-        self._range_cache: Dict[Tuple[frozenset, Value], object] = {}
+        #: constraint-set fingerprint -> (owner, verdict, model); shared by
+        #: every query kind that funnels into :meth:`check`
+        self._check_cache: Dict[frozenset, Tuple[int, SolverResult, Optional[Dict[str, int]]]] = {}
+        #: (constraint-set fingerprint, expr) -> (owner, (lo, hi) or None)
+        self._range_cache: Dict[Tuple[frozenset, Value], Tuple[int, object]] = {}
+        #: id tagged onto entries this solver writes; 0 for a private memo
+        self._cache_owner = 0
+        if shared_cache is not None and self.enable_cache:
+            shared_cache.attachments += 1
+            self._cache_owner = shared_cache.attachments
+            self._check_cache = shared_cache.check
+            self._range_cache = shared_cache.ranges
 
     # ------------------------------------------------------------------ API
 
@@ -158,7 +242,9 @@ class Solver:
             cached = self._check_cache.get(key)
             if cached is not None:
                 self.stats.cache_hits += 1
-                verdict, model = cached
+                owner, verdict, model = cached
+                if owner != self._cache_owner:
+                    self.stats.worker_cache_hits += 1
                 # Hand out a copy: callers may mutate the model dict.
                 return verdict, (dict(model) if model is not None else None)
             self.stats.cache_misses += 1
@@ -167,6 +253,7 @@ class Solver:
             if len(self._check_cache) >= self.CACHE_LIMIT:
                 self._check_cache.clear()
             self._check_cache[key] = (
+                self._cache_owner,
                 verdict,
                 dict(model) if model is not None else None,
             )
@@ -261,13 +348,16 @@ class Solver:
             cached = self._range_cache.get(key, _RANGE_MISS)
             if cached is not _RANGE_MISS:
                 self.stats.cache_hits += 1
-                return cached
+                owner, result = cached
+                if owner != self._cache_owner:
+                    self.stats.worker_cache_hits += 1
+                return result
             self.stats.cache_misses += 1
         result = self._value_range_uncached(constraints, expr)
         if key is not None:
             if len(self._range_cache) >= self.CACHE_LIMIT:
                 self._range_cache.clear()
-            self._range_cache[key] = result
+            self._range_cache[key] = (self._cache_owner, result)
         return result
 
     def _value_range_uncached(

@@ -13,7 +13,11 @@ from repro.workloads.microbench import build_avv, build_dbm, build_dcl, build_rw
 from repro.workloads.ocean import build_ocean
 from repro.workloads.pbzip2 import build_pbzip2
 from repro.workloads.sqlite import build_sqlite
-from repro.workloads.stress import build_stress, build_stress_deep
+from repro.workloads.stress import (
+    build_stress,
+    build_stress_deep,
+    build_stress_harmful,
+)
 
 #: the 7 real-world applications of Table 1, in the paper's order
 REAL_WORLD_APPLICATIONS = (
@@ -32,7 +36,7 @@ MICRO_BENCHMARKS = ("AVV", "DCL", "DBM", "RW")
 #: engine-scaling workloads that are NOT part of the paper's evaluation;
 #: loadable by name but excluded from the Table 1 list so the reproduced
 #: tables keep the paper's totals (93 distinct races)
-SYNTHETIC_BENCHMARKS = ("stress", "stress_deep")
+SYNTHETIC_BENCHMARKS = ("stress", "stress_deep", "stress_harmful")
 
 _BUILDERS: Dict[str, Callable[[], Workload]] = {
     "SQLite": build_sqlite,
@@ -48,6 +52,7 @@ _BUILDERS: Dict[str, Callable[[], Workload]] = {
     "RW": build_rw,
     "stress": build_stress,
     "stress_deep": build_stress_deep,
+    "stress_harmful": build_stress_harmful,
 }
 
 

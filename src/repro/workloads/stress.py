@@ -23,12 +23,21 @@ exploration forks into many primary paths (Mp-bounded) whose outputs need
 symbolic comparison.  This is the shape that exercises per-path task
 shipping and the solver's memoization -- the same membership query repeats
 across alternate schedules and duplicate diagnostic channels.
+
+``stress_harmful`` is the adversarial complement: every slot's race is
+*harmful* (the alternate ordering observes an uninitialised zero and
+crashes with a division by zero -- pbzip2's eager-metadata pattern from
+Table 2, replicated per slot), so the classifier takes the evidence-heavy
+route for every single race: crash capture, failing-input extraction,
+spec-violation reporting.  ``stress`` answers "how fast can we wave
+hundreds of harmless races through?"; ``stress_harmful`` answers "how fast
+can we *convict* hundreds of harmful ones?".
 """
 
 from __future__ import annotations
 
-from repro.core.categories import RaceClass
-from repro.lang.ast import add, ge, glob, local
+from repro.core.categories import RaceClass, SpecViolationKind
+from repro.lang.ast import add, div, ge, glob, local
 from repro.lang.builder import ProgramBuilder
 from repro.workloads.base import GroundTruth, Workload
 
@@ -37,6 +46,9 @@ DEFAULT_RACES = 160
 
 #: slots (= races) in the registry build of ``stress_deep``
 DEFAULT_DEEP_SLOTS = 12
+
+#: slots (= crash races) in the registry build of ``stress_harmful``
+DEFAULT_HARMFUL_RACES = 120
 
 
 def build_stress(races: int = DEFAULT_RACES) -> Workload:
@@ -162,5 +174,83 @@ def build_stress_deep(slots: int = DEFAULT_DEEP_SLOTS) -> Workload:
                 f"deep_{index:03d}", RaceClass.K_WITNESS_HARMLESS
             )
             for index in range(slots)
+        },
+    )
+
+
+def build_stress_harmful(races: int = DEFAULT_HARMFUL_RACES) -> Workload:
+    """Build the harmful stress workload with ``races`` crash races.
+
+    Each slot replicates pbzip2's eager-metadata crash (Table 2): a
+    dedicated setter thread initialises ``meta_<i>`` while main divides by
+    it without waiting for the setter.  In the recorded round-robin
+    schedule every setter runs before main's reads (the ``sched_yield``
+    after the spawn loop drains all runnable setters, each of which is two
+    preemption-free statements), so recording completes normally and the
+    happens-before detector reports one write-read race per slot -- the
+    joins come only after the reads, so no edge orders them.  The alternate
+    ordering of any slot's race makes main observe the uninitialised zero
+    and crash with a division by zero, which is exactly the evidence-heavy
+    classification path: crash capture, failing-input extraction and
+    spec-violation reporting for *every* race of the trace.
+    """
+    if races < 1:
+        raise ValueError("stress_harmful workload needs at least one race")
+    b = ProgramBuilder("stress_harmful", language="C++")
+    for index in range(races):
+        b.global_var(f"meta_{index:04d}", 0)
+
+    # One single-write setter per slot: its write races with main's read.
+    for index in range(races):
+        setter = b.function(f"setter_{index:04d}")
+        setter.assign(
+            glob(f"meta_{index:04d}"),
+            4 + index % 8,
+            label=f"stress_harmful.cpp:{100 + index}",
+        )
+        setter.ret()
+
+    main = b.function("main")
+    for index in range(races):
+        main.spawn(
+            f"t{index}", f"setter_{index:04d}", label=f"stress_harmful.cpp:{20 + index}"
+        )
+    # The recorded schedule's only ordering aid: one yield, after which the
+    # round-robin scheduler runs every not-yet-finished setter to
+    # completion before main resumes.  A yield is not a synchronisation
+    # edge, so the races below survive detection.
+    main.yield_(label=f"stress_harmful.cpp:{20 + races}")
+
+    # Eager consumption, no join yet: correct only if the setter already
+    # ran; the alternate ordering divides by the uninitialised zero.
+    for index in range(races):
+        main.assign(
+            local(f"q{index}"),
+            div(100, glob(f"meta_{index:04d}")),
+            label=f"stress_harmful.cpp:{1000 + index}",
+        )
+    main.output("stdout", [1], label=f"stress_harmful.cpp:{1000 + races}")
+    for index in range(races):
+        main.join(local(f"t{index}"))
+    main.ret()
+
+    return Workload(
+        name="stress_harmful",
+        program=b.build(),
+        description=(
+            f"synthetic harmful stress: {races} crash-per-slot metadata races"
+        ),
+        paper_loc=0,
+        paper_language="C++",
+        paper_forked_threads=races + 1,
+        expected_distinct_races=races,
+        is_micro_benchmark=True,
+        ground_truth={
+            f"meta_{index:04d}": GroundTruth(
+                f"meta_{index:04d}",
+                RaceClass.SPEC_VIOLATED,
+                spec_kind=SpecViolationKind.CRASH,
+            )
+            for index in range(races)
         },
     )

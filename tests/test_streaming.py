@@ -1,0 +1,257 @@
+"""Tests for the streaming futures-based engine.
+
+Covers the dispatch redesign of the streaming engine: bit-equivalence of
+streaming, barrier and serial dispatch (including under adversarially
+shuffled future-completion order), the persistent-pool lifecycle counters,
+worker-lifetime solver-cache accounting, and the ``stress_harmful``
+workload.
+"""
+
+import random
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro.engine import (
+    DISPATCH_MODES,
+    AnalysisEngine,
+    EngineOptions,
+    PoolDispatcher,
+)
+from repro.engine.engine import _OverlapClock
+from repro.engine.stats import GLOBAL_STATS
+from repro.symex.expr import SymVar, make_binary, Op
+from repro.symex.solver import (
+    Solver,
+    reset_worker_caches,
+    worker_solver_cache,
+)
+from repro.workloads import all_workload_names, load_workload
+from repro.workloads.stress import build_stress, build_stress_harmful
+
+
+def _full_signature(runs):
+    """Everything in the classification output except wall-clock timing."""
+    return [
+        {key: value for key, value in item.to_dict().items() if key != "analysis_seconds"}
+        for run in runs
+        for item in run.result.classified
+    ]
+
+
+#: a small batch covering single-stage, multi-path and deep-fan-out races
+NAMES = ["bbuf", "RW", "SQLite", "stress_deep"]
+
+
+class _DeferredPool:
+    """A fake executor whose futures complete only when the fake ``wait``
+    chooses them -- in shuffled order, to simulate a wide pool finishing
+    tasks in an arbitrary interleaving."""
+
+    def __init__(self):
+        self.pending = {}
+
+    def submit(self, fn, *args):
+        future = Future()
+        self.pending[future] = (fn, args)
+        return future
+
+
+def _shuffled_wait(pool, rng):
+    """A ``concurrent.futures.wait`` stand-in that completes a random
+    non-empty subset of the pending futures, in random order."""
+
+    def fake_wait(futures, return_when=None):
+        waiting = [future for future in futures if future in pool.pending]
+        chosen = rng.sample(waiting, rng.randint(1, len(waiting)))
+        for future in chosen:
+            fn, args = pool.pending.pop(future)
+            future.set_result(fn(*args))
+        return set(chosen), set(futures) - set(chosen)
+
+    return fake_wait
+
+
+class TestDispatchEquivalence:
+    def test_streaming_barrier_and_serial_are_bit_identical(self):
+        reference = AnalysisEngine(options=EngineOptions(granularity="race")).analyze(NAMES)
+        streaming = AnalysisEngine(
+            options=EngineOptions(parallel=2, granularity="path", dispatch="streaming")
+        ).analyze(NAMES)
+        barrier = AnalysisEngine(
+            options=EngineOptions(parallel=2, granularity="path", dispatch="barrier")
+        ).analyze(NAMES)
+        assert _full_signature(reference) == _full_signature(streaming)
+        assert _full_signature(reference) == _full_signature(barrier)
+
+    def test_serial_fallback_parity(self):
+        # parallel=0 must run the identical task code in-process for both
+        # dispatch modes and produce bit-identical classifications.
+        names = ["bbuf", "RW"]
+        reference = AnalysisEngine(options=EngineOptions(granularity="race")).analyze(names)
+        for mode in DISPATCH_MODES:
+            runs = AnalysisEngine(
+                options=EngineOptions(parallel=0, granularity="path", dispatch=mode)
+            ).analyze(names)
+            assert _full_signature(reference) == _full_signature(runs), mode
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_shuffled_completion_order_is_bit_identical(self, monkeypatch, seed):
+        # Drive the streaming scheduler with a fake pool whose futures land
+        # in a shuffled order: path tasks of early races interleave with
+        # plans of later ones, exactly as a wide pool would deliver them.
+        # The merge must stay bit-identical to the serial reference.
+        reference = AnalysisEngine(options=EngineOptions(granularity="race")).analyze(NAMES)
+        rng = random.Random(seed)
+        pool = _DeferredPool()
+        monkeypatch.setattr(
+            PoolDispatcher, "acquire_for", lambda self, payloads: pool
+        )
+        monkeypatch.setattr(
+            PoolDispatcher,
+            "map",
+            lambda self, payloads, worker: [worker(p) for p in payloads],
+        )
+        monkeypatch.setattr("repro.engine.engine.wait", _shuffled_wait(pool, rng))
+        shuffled = AnalysisEngine(
+            options=EngineOptions(parallel=2, granularity="path", dispatch="streaming")
+        ).analyze(NAMES)
+        assert not pool.pending  # the scheduler drained everything
+        assert _full_signature(reference) == _full_signature(shuffled)
+
+    def test_dispatch_option_is_validated(self):
+        with pytest.raises(ValueError):
+            AnalysisEngine(options=EngineOptions(dispatch="bogus"))
+
+
+class TestPoolLifecycle:
+    def test_streaming_builds_one_pool_per_run_and_reuses_it(self):
+        GLOBAL_STATS.reset()
+        AnalysisEngine(
+            options=EngineOptions(parallel=2, granularity="path", dispatch="streaming")
+        ).analyze(["RW", "bbuf"])
+        # One ProcessPoolExecutor construction for the whole run (record,
+        # plan and path queues included); every later dispatch reuses it.
+        assert GLOBAL_STATS.pools_created == 1
+        assert GLOBAL_STATS.pool_reuses >= 1
+
+    def test_barrier_builds_a_pool_per_dispatch(self):
+        GLOBAL_STATS.reset()
+        AnalysisEngine(
+            options=EngineOptions(parallel=2, granularity="path", dispatch="barrier")
+        ).analyze(["RW", "bbuf"])
+        assert GLOBAL_STATS.pools_created >= 2
+        assert GLOBAL_STATS.pool_reuses == 0
+
+    def test_serial_run_builds_no_pool(self):
+        GLOBAL_STATS.reset()
+        AnalysisEngine().analyze(["RW"])
+        assert GLOBAL_STATS.pools_created == 0
+        assert GLOBAL_STATS.pool_reuses == 0
+
+    def test_overlap_clock_counts_only_simultaneous_flight(self):
+        clock = _OverlapClock()
+        clock.update(1, 0)  # plans only: no overlap
+        assert clock.total() == 0.0
+        clock.update(1, 1)  # both stages in flight: overlap starts
+        time.sleep(0.01)
+        clock.update(0, 1)  # plans drained: overlap ends
+        first_window = clock.total()
+        assert first_window >= 0.009
+        time.sleep(0.01)
+        # The second sleep happened outside an overlap window: no growth.
+        assert clock.total() == first_window
+
+
+class TestWorkerCacheAccounting:
+    def _constraints(self):
+        x = SymVar("wcx", 0, 10)
+        return [make_binary(Op.GE, x, 3), make_binary(Op.LT, x, 7)]
+
+    def test_cross_solver_hit_counts_as_worker_cache_hit(self):
+        reset_worker_caches()
+        shared = worker_solver_cache("prog-a")
+        first = Solver(shared_cache=shared)
+        verdict_first = first.check(self._constraints())
+        assert first.stats.worker_cache_hits == 0
+
+        second = Solver(shared_cache=shared)
+        verdict_second = second.check(self._constraints())
+        assert verdict_second == verdict_first  # warm hit is bit-identical
+        assert second.stats.cache_hits == 1
+        assert second.stats.worker_cache_hits == 1
+
+    def test_own_entry_hit_is_not_a_worker_cache_hit(self):
+        reset_worker_caches()
+        solver = Solver(shared_cache=worker_solver_cache("prog-b"))
+        solver.check(self._constraints())
+        solver.check(self._constraints())
+        assert solver.stats.cache_hits == 1
+        assert solver.stats.worker_cache_hits == 0
+
+    def test_fingerprints_do_not_share_entries(self):
+        reset_worker_caches()
+        first = Solver(shared_cache=worker_solver_cache("prog-c"))
+        first.check(self._constraints())
+        other = Solver(shared_cache=worker_solver_cache("prog-d"))
+        other.check(self._constraints())
+        assert other.stats.cache_hits == 0
+
+    def test_disabled_cache_ignores_shared_state(self):
+        reset_worker_caches()
+        shared = worker_solver_cache("prog-e")
+        warm = Solver(shared_cache=shared)
+        warm.check(self._constraints())
+        cold = Solver(enable_cache=False, shared_cache=shared)
+        cold.check(self._constraints())
+        assert cold.stats.cache_hits == 0
+        assert cold.stats.worker_cache_hits == 0
+
+    def test_engine_counts_worker_cache_hits(self):
+        # The races of one stress trace issue identical constraint-set
+        # queries; with the worker-lifetime cache the later tasks hit
+        # entries the earlier tasks wrote -- even on the serial path, which
+        # runs the same task code in the driving process.
+        GLOBAL_STATS.reset()
+        AnalysisEngine().analyze_workloads([build_stress(races=6)])
+        serial_hits = GLOBAL_STATS.worker_cache_hits
+        assert serial_hits > 0
+        # Each run starts from clean worker-lifetime state, so an identical
+        # second run reports identical accounting.
+        GLOBAL_STATS.reset()
+        AnalysisEngine().analyze_workloads([build_stress(races=6)])
+        assert GLOBAL_STATS.worker_cache_hits == serial_hits
+
+
+class TestStressHarmful:
+    def test_build_is_parameterized_and_every_race_convicts(self):
+        from repro.core.categories import RaceClass, SpecViolationKind
+
+        workload = build_stress_harmful(races=5)
+        run = AnalysisEngine().analyze_workloads([workload])[0]
+        assert run.result.distinct_races() == 5
+        for item in run.result.classified:
+            assert item.classification is RaceClass.SPEC_VIOLATED
+            assert item.evidence.spec_violation_kind is SpecViolationKind.CRASH
+
+    def test_registry_build_defaults_to_hundreds(self):
+        workload = load_workload("stress_harmful")
+        assert workload.expected_distinct_races >= 100
+        assert len(workload.ground_truth) == workload.expected_distinct_races
+
+    def test_not_part_of_the_table1_list(self):
+        assert "stress_harmful" not in all_workload_names()
+        assert "stress_harmful" in all_workload_names(include_synthetic=True)
+
+    def test_rejects_zero_races(self):
+        with pytest.raises(ValueError):
+            build_stress_harmful(races=0)
+
+    def test_streaming_convicts_identically_to_serial(self):
+        workload = build_stress_harmful(races=5)
+        serial = AnalysisEngine().analyze_workloads([workload])
+        streaming = AnalysisEngine(
+            options=EngineOptions(parallel=2, granularity="path")
+        ).analyze_workloads([build_stress_harmful(races=5)])
+        assert _full_signature(serial) == _full_signature(streaming)
