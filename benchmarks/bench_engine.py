@@ -37,10 +37,14 @@ import json
 import os
 import tempfile
 import time
+from dataclasses import replace
 
 import repro.symex.solver as solver_mod
+from repro.core.config import PortendConfig
 from repro.engine import AnalysisEngine, EngineOptions
+from repro.engine.events import fold_events, load_events
 from repro.engine.stats import GLOBAL_STATS
+from repro.symex.factory import solver_backends
 from repro.workloads import all_workload_names
 
 WORKERS = min(4, os.cpu_count() or 1)
@@ -118,7 +122,86 @@ def run_comparison(names=None):
     outcome["path_mode"] = run_path_mode_comparison()
     outcome["solver_cache"] = run_solver_cache_comparison()
     outcome["dispatch"] = run_dispatch_comparison()
+    outcome["solver_backends"] = run_solver_backend_comparison()
+    outcome["events"] = run_events_check()
     return outcome
+
+
+def run_solver_backend_comparison(names=("stress_deep",)):
+    """Every registered solver backend, serially, against the same batch.
+
+    The factory contract is that backends differ only in *how* they reach an
+    answer, never in the answer itself: verdicts must stay bit-identical, and
+    the classification cache is deliberately keyed without the backend name.
+    The comparison also records how much enumeration each backend avoids --
+    the portfolio backend's interval-propagation fast path should answer the
+    wrapped path-condition queries without enumerating at all.
+    """
+    per_backend = {}
+    signatures = {}
+    for backend in solver_backends():
+        GLOBAL_STATS.reset()
+        started = time.perf_counter()
+        runs = AnalysisEngine(
+            config=replace(PortendConfig(), solver_backend=backend)
+        ).analyze(list(names))
+        per_backend[backend] = {
+            "seconds": time.perf_counter() - started,
+            "solver_queries": GLOBAL_STATS.solver_queries,
+            "solver_enumerated": GLOBAL_STATS.solver_assignments_enumerated,
+            "solver_fastpath": GLOBAL_STATS.solver_fastpath_answers,
+            "solver_seconds": GLOBAL_STATS.solver_seconds,
+        }
+        signatures[backend] = _signature(runs)
+    reference = signatures["default"]
+    default_enumerated = per_backend["default"]["solver_enumerated"]
+    portfolio_enumerated = per_backend.get("portfolio", {}).get(
+        "solver_enumerated", default_enumerated
+    )
+    return {
+        "workloads": list(names),
+        "backends": per_backend,
+        "identical": all(signature == reference for signature in signatures.values()),
+        "enumeration_drop": (
+            (default_enumerated - portfolio_enumerated) / default_enumerated
+            if default_enumerated
+            else 0.0
+        ),
+    }
+
+
+def run_events_check(names=("stress_deep",)):
+    """Event logging on vs off: identical verdicts, fold == live counters.
+
+    The structured event log is pure observability -- turning it on must not
+    change a single verdict, and folding the JSONL stream written to disk
+    must reproduce exactly the ``EngineStats`` the run reported, counter for
+    counter.
+    """
+    pool_options = dict(
+        parallel=WORKERS, granularity="path" if WORKERS > 1 else "auto"
+    )
+    plain_runs = AnalysisEngine(options=EngineOptions(**pool_options)).analyze(
+        list(names)
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        events_path = os.path.join(tmp, "events.jsonl")
+        engine = AnalysisEngine(
+            options=EngineOptions(events_path=events_path, **pool_options)
+        )
+        logged_runs = engine.analyze(list(names))
+        events = load_events(events_path)
+    by_kind = {}
+    for event in events:
+        by_kind[event["kind"]] = by_kind.get(event["kind"], 0) + 1
+    return {
+        "workloads": list(names),
+        "events_total": len(events),
+        "by_kind": by_kind,
+        "solver_query_events": by_kind.get("solver_query", 0),
+        "identical": _signature(plain_runs) == _signature(logged_runs),
+        "fold_matches": fold_events(events) == engine.last_run_stats,
+    }
 
 
 def run_dispatch_comparison(names=("stress_deep",)):
@@ -213,7 +296,11 @@ def run_path_mode_comparison(names=None):
 
 
 def run_solver_cache_comparison(names=("stress_deep",)):
-    """The memoizing solver on vs off, serially on the deep-path workload."""
+    """The memoizing solver on vs off, serially on the deep-path workload.
+
+    Pinned to the ``default`` backend: the gate measures the memo's effect
+    on enumeration, which the portfolio fast path would short-circuit.
+    """
     modes = {}
     signatures = {}
     for label, enabled in (("off", False), ("on", True)):
@@ -221,7 +308,9 @@ def run_solver_cache_comparison(names=("stress_deep",)):
         try:
             GLOBAL_STATS.reset()
             started = time.perf_counter()
-            runs = AnalysisEngine().analyze(list(names))
+            runs = AnalysisEngine(
+                config=replace(PortendConfig(), solver_backend="default")
+            ).analyze(list(names))
             modes[label] = {
                 "seconds": time.perf_counter() - started,
                 "solver_queries": GLOBAL_STATS.solver_queries,
@@ -260,6 +349,8 @@ def render(outcome):
     path_mode = outcome["path_mode"]
     solver_cache = outcome["solver_cache"]
     dispatch = outcome["dispatch"]
+    backends = outcome["solver_backends"]
+    events = outcome["events"]
     lines = [
         "Engine benchmark: staged pipeline, serial vs parallel vs warm cache",
         f"{'workloads':<26} {len(serial_runs)}",
@@ -303,6 +394,25 @@ def render(outcome):
         f"({dispatch['streaming']['worker_cache_hits']} of "
         f"{dispatch['streaming']['solver_queries']} queries)",
         f"{'streaming speedup':<26} {dispatch['speedup']:.2f}x",
+        "",
+        f"Solver backends ({', '.join(backends['workloads'])}):",
+    ]
+    for name, numbers in backends["backends"].items():
+        lines.append(
+            f"{name:<26} {numbers['seconds']:.2f}s  "
+            f"({numbers['solver_queries']} queries, "
+            f"{numbers['solver_enumerated']} enumerated, "
+            f"{numbers['solver_fastpath']} fast-path answers)"
+        )
+    lines += [
+        f"{'enumeration drop':<26} {backends['enumeration_drop']:.1%}",
+        f"{'verdicts identical':<26} {backends['identical']}",
+        "",
+        f"Event log ({', '.join(events['workloads'])}):",
+        f"{'events written':<26} {events['events_total']} "
+        f"({events['solver_query_events']} solver queries)",
+        f"{'verdicts identical':<26} {events['identical']}",
+        f"{'fold == live counters':<26} {events['fold_matches']}",
     ]
     return "\n".join(lines)
 
@@ -325,6 +435,8 @@ def to_artifact(outcome):
         "path_mode": outcome["path_mode"],
         "solver_cache": outcome["solver_cache"],
         "dispatch": outcome["dispatch"],
+        "solver_backends": outcome["solver_backends"],
+        "events": outcome["events"],
     }
 
 
@@ -367,6 +479,22 @@ def verify(outcome):
     dispatch = outcome["dispatch"]
     assert dispatch["identical"]
     assert dispatch["streaming"]["worker_cache_hits"] > 0, dispatch
+    # Every solver backend must produce bit-identical verdicts, and the
+    # portfolio fast path must both fire and never enumerate more than the
+    # default backend does.
+    backends = outcome["solver_backends"]
+    assert backends["identical"], backends
+    assert (
+        backends["backends"]["portfolio"]["solver_enumerated"]
+        <= backends["backends"]["default"]["solver_enumerated"]
+    ), backends
+    assert backends["backends"]["portfolio"]["solver_fastpath"] > 0, backends
+    # Event logging is pure observability: verdicts unchanged, and folding
+    # the on-disk stream reproduces the run's counters exactly.
+    events = outcome["events"]
+    assert events["identical"], events
+    assert events["fold_matches"], events
+    assert events["solver_query_events"] > 0, events
     if (os.cpu_count() or 1) > 1 and WORKERS > 1:
         # Real parallel hardware must beat the serial pipeline on a
         # multi-race batch (hundreds of independent tasks).

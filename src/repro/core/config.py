@@ -10,6 +10,7 @@ detection", "+ multi-path", "+ multi-schedule") can be regenerated.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -32,6 +33,14 @@ class PortendConfig:
     max_explored_states: int = 256
     #: random seed for multi-schedule analysis
     seed: int = 2012
+    #: solver backend name (see :mod:`repro.symex.factory`); the
+    #: ``REPRO_SOLVER`` environment variable overrides the default, which
+    #: lets CI run the whole suite under an alternative backend.  Backends
+    #: are bit-identical by contract, so this knob never changes a verdict
+    #: and is excluded from :meth:`classification_fingerprint`.
+    solver_backend: str = field(
+        default_factory=lambda: os.environ.get("REPRO_SOLVER", "default")
+    )
 
     # ----------------------------------------------------- ablation switches
     #: classify ad-hoc synchronisation (timeouts) as "single ordering";
@@ -84,8 +93,13 @@ class PortendConfig:
         :meth:`race_seed`), the ``mp``/``ma`` exploration limits, the
         ablation switches, the step/state ceilings -- so any config change
         invalidates cached verdicts instead of silently serving stale ones.
+        ``solver_backend`` is the one exception: backends answer
+        bit-identically by contract (asserted in tests and the benchmark
+        harness), so a cached verdict stays valid across them.
         """
-        return dict(sorted(self.to_dict().items()))
+        data = self.to_dict()
+        data.pop("solver_backend", None)
+        return dict(sorted(data.items()))
 
     @classmethod
     def from_dict(cls, data: Dict) -> "PortendConfig":

@@ -108,6 +108,12 @@ class Portend:
         self.program = program if program.finalized else program.finalize()
         self.config = config or PortendConfig()
         self.predicates = list(predicates)
+        if executor is None and solver is None:
+            # Build the solver the config's backend names (the factory seam);
+            # an explicitly supplied solver or executor always wins.
+            from repro.symex.factory import create_solver
+
+            solver = create_solver(self.config)
         self.executor = executor or Executor(
             self.program,
             config=ExecutorConfig(max_steps=self.config.max_steps_per_execution),

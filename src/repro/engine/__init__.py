@@ -14,7 +14,10 @@
 * :mod:`repro.engine.cache` -- the on-disk trace cache keyed by
   ``(program, inputs, config)`` and the classification cache keyed by
   ``(program, inputs, config, race_id)`` plus the predicate mode,
-* :mod:`repro.engine.stats` -- process-wide cache-hit/recompute counters.
+* :mod:`repro.engine.events` -- the typed JSON-lines event stream every
+  pipeline counter is folded from,
+* :mod:`repro.engine.stats` -- the :class:`EngineStats` view of a folded
+  event stream, plus the ``GLOBAL_STATS`` compatibility aggregate.
 """
 
 from repro.engine.cache import ClassificationCache, TraceCache, collect_cache_info
@@ -25,6 +28,16 @@ from repro.engine.engine import (
     EngineRun,
     choose_granularity,
     classify_races_parallel,
+)
+from repro.engine.events import (
+    EVENT_KINDS,
+    EventBuffer,
+    EventLogger,
+    fold_events,
+    load_events,
+    render_events_info,
+    summarize_events,
+    write_events,
 )
 from repro.engine.stats import GLOBAL_STATS, EngineStats
 from repro.engine.tasks import (
@@ -61,4 +74,12 @@ __all__ = [
     "pool_worker_initializer",
     "EngineStats",
     "GLOBAL_STATS",
+    "EVENT_KINDS",
+    "EventBuffer",
+    "EventLogger",
+    "fold_events",
+    "load_events",
+    "write_events",
+    "summarize_events",
+    "render_events_info",
 ]

@@ -8,9 +8,10 @@ pool spin-up/tear-down (and one cold worker-process state) per queue.
 * **streaming** (the default) -- one persistent pool per engine run,
   created lazily on the first pooled dispatch with
   :func:`~repro.engine.tasks.pool_worker_initializer` installed, reused by
-  every subsequent stage (``GLOBAL_STATS.pools_created`` /
-  ``GLOBAL_STATS.pool_reuses`` count both sides), and shut down by the
-  engine when the run finishes.  Work ships as futures -- chunked for wide
+  every subsequent stage (both sides emit ``pool`` events into the run's
+  :class:`~repro.engine.events.EventLogger`, which fold into the
+  ``pools_created``/``pool_reuses`` counters), and shut down by the engine
+  when the run finishes.  Work ships as futures -- chunked for wide
   homogeneous queues, per-task for the plan→path scheduler -- and is
   drained with ``as_completed``.
 * **barrier** -- the legacy strategy, kept as the A/B baseline for
@@ -33,7 +34,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.engine.stats import GLOBAL_STATS
+from repro.engine.events import EventLogger
 from repro.engine.tasks import execute_payload_chunk, pool_worker_initializer
 
 #: dispatch strategies (see EngineOptions.dispatch)
@@ -43,7 +44,12 @@ DISPATCH_MODES = ("streaming", "barrier")
 class PoolDispatcher:
     """Owns worker-pool dispatch for one engine run."""
 
-    def __init__(self, workers: Optional[int], mode: str = "streaming") -> None:
+    def __init__(
+        self,
+        workers: Optional[int],
+        mode: str = "streaming",
+        events: Optional[EventLogger] = None,
+    ) -> None:
         if mode not in DISPATCH_MODES:
             raise ValueError(
                 f"unknown dispatch mode {mode!r}; "
@@ -51,6 +57,9 @@ class PoolDispatcher:
             )
         self.workers = int(workers or 0)
         self.mode = mode
+        #: pool-lifecycle events land here (the engine passes its run logger;
+        #: a standalone dispatcher gets a private stream)
+        self.events = events if events is not None else EventLogger()
         #: a dispatch had to fall back to serial execution (advisory; the
         #: engine's "auto" granularity reads it)
         self.pool_unavailable = False
@@ -82,9 +91,9 @@ class PoolDispatcher:
             except OSError:
                 self.mark_broken()
                 return None
-            GLOBAL_STATS.pools_created += 1
+            self.events.emit("pool", action="created")
         else:
-            GLOBAL_STATS.pool_reuses += 1
+            self.events.emit("pool", action="reused")
         return self._pool
 
     def acquire_for(self, payloads: Sequence[Dict]) -> Optional[ProcessPoolExecutor]:
@@ -151,7 +160,7 @@ class PoolDispatcher:
     def _map_barrier(self, payloads: Sequence[Dict], worker: Callable) -> List[Dict]:
         """The legacy strategy: fresh pool, blocking map, teardown."""
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            GLOBAL_STATS.pools_created += 1
+            self.events.emit("pool", action="created")
             return list(pool.map(worker, payloads, chunksize=self._chunk_size(len(payloads))))
 
 

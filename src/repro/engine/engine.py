@@ -59,7 +59,8 @@ from repro.core.config import PortendConfig
 from repro.core.multi_path import PathVerdict, merge_path_verdicts
 from repro.engine.cache import ClassificationCache, TraceCache
 from repro.engine.dispatch import DISPATCH_MODES, PoolDispatcher, picklable
-from repro.engine.stats import GLOBAL_STATS
+from repro.engine.events import EventLogger, write_events
+from repro.engine.stats import GLOBAL_STATS, EngineStats
 from repro.engine.tasks import (
     ClassificationTask,
     PathTask,
@@ -109,6 +110,10 @@ class EngineOptions:
     #: whole run and overlaps the plan and path queues; "barrier" is the
     #: legacy fresh-pool-per-stage behaviour, kept for A/B measurement
     dispatch: str = "streaming"
+    #: append the run's structured event stream to this JSON-lines file when
+    #: set (see :mod:`repro.engine.events`); None disables the write -- the
+    #: events are still collected and folded into the run's stats either way
+    events_path: Optional[str] = None
 
 
 def choose_granularity(distinct_races: int, workers: int) -> str:
@@ -143,6 +148,9 @@ class EngineRun:
     trace_cached: bool = False
     #: races of this workload served from the classification cache
     classifications_cached: int = 0
+    #: the run-level stats view folded from the run's event stream (one
+    #: object shared by every EngineRun of the batch)
+    stats: Optional[EngineStats] = None
 
 
 @dataclass
@@ -173,9 +181,18 @@ class AnalysisEngine:
                 f"unknown granularity {self.options.granularity!r}; "
                 f"expected one of {', '.join(GRANULARITIES)}"
             )
+        #: the run's structured event stream: the single source every
+        #: counter is folded from (see :mod:`repro.engine.events`)
+        self.events = EventLogger()
+        #: the previous run's folded stats view / event snapshot
+        self.last_run_stats: Optional[EngineStats] = None
+        self.last_run_events: List[Dict] = []
         #: owns the run's persistent pool and the serial fallback (validates
-        #: options.dispatch against DISPATCH_MODES)
-        self._dispatcher = PoolDispatcher(self.options.parallel, self.options.dispatch)
+        #: options.dispatch against DISPATCH_MODES); pool-lifecycle events
+        #: land on the engine's logger
+        self._dispatcher = PoolDispatcher(
+            self.options.parallel, self.options.dispatch, self.events
+        )
         self.cache = (
             TraceCache(self.options.cache_dir, max_entries=self.options.cache_max_entries)
             if self.options.cache_dir
@@ -194,6 +211,38 @@ class AnalysisEngine:
         granularity stop fanning out per-path work no pool will run."""
         return self._dispatcher.pool_unavailable
 
+    # ------------------------------------------------------------ run context
+
+    def _begin_run(self, workloads: Sequence[Workload]) -> None:
+        """Open a per-run context: fresh worker-lifetime caches, fresh event
+        stream.  Enforced here so back-to-back runs in one process can never
+        bleed counters or warm solver state into each other."""
+        reset_worker_caches()
+        self.events.reset()
+        self.events.emit(
+            "run_start",
+            workloads=[workload.name for workload in workloads],
+            dispatch=self.options.dispatch,
+            parallel=self.options.parallel,
+            granularity=self.options.granularity,
+            solver=self.config.solver_backend,
+        )
+        self._run_started = time.perf_counter()
+
+    def _finish_run(self) -> EngineStats:
+        """Close the run: snapshot the event stream, fold it into the run's
+        stats view, merge that into the ``GLOBAL_STATS`` compatibility
+        aggregate, and append the JSONL file when configured."""
+        self.events.emit(
+            "run_finish", seconds=time.perf_counter() - self._run_started
+        )
+        self.last_run_events = self.events.snapshot()
+        self.last_run_stats = self.events.fold()
+        GLOBAL_STATS.merge(self.last_run_stats)
+        if self.options.events_path:
+            write_events(self.last_run_events, self.options.events_path)
+        return self.last_run_stats
+
     # --------------------------------------------------------------- recording
 
     def record_trace(self, workload: Workload) -> Tuple[ExecutionTrace, float, bool]:
@@ -201,10 +250,12 @@ class AnalysisEngine:
 
         Returns ``(trace, detection_seconds, was_cached)``.
         """
+        self._begin_run([workload])
         try:
             recording = self._record_stage([workload])[0]
         finally:
             self._dispatcher.shutdown()
+            self._finish_run()
         return recording.trace, recording.detection_seconds, recording.cached
 
     def _record_stage(self, workloads: Sequence[Workload]) -> List[_Recording]:
@@ -222,9 +273,11 @@ class AnalysisEngine:
                     workload.name, workload.inputs, self.config, fingerprint
                 )
                 if cached is not None:
-                    GLOBAL_STATS.trace_cache_hits += 1
+                    self.events.emit("cache", tier="trace", hit=True)
                     results[index] = _Recording(workload, cached, 0.0, True, fingerprint)
                     continue
+                self.events.emit("cache", tier="trace", hit=False)
+            self.events.emit("task_submit", stage="record", workload=workload.name)
             payloads.append(
                 RecordTask(
                     workload=workload.name,
@@ -240,7 +293,8 @@ class AnalysisEngine:
         for index, output in zip(indices, self._dispatch(payloads, execute_record_task)):
             workload = workloads[index]
             trace = ExecutionTrace.from_dict(output["trace"])
-            GLOBAL_STATS.traces_recorded += 1
+            self.events.absorb(output.get("events"))
+            self.events.emit("trace_recorded", workload=workload.name)
             if self.cache is not None:
                 self.cache.store(
                     workload.name, workload.inputs, self.config, trace, fingerprints[index]
@@ -276,14 +330,21 @@ class AnalysisEngine:
         stage, and torn down when the run finishes.  The driving process's
         worker-lifetime solver caches start fresh per run (pool workers get
         the same via the pool initializer), so runs cannot observe each
-        other's warm state.
+        other's warm state; likewise the event stream is per-run, folded
+        into a stats view when the run finishes (``run.stats`` /
+        ``engine.last_run_stats``) and merged into the ``GLOBAL_STATS``
+        compatibility aggregate.
         """
-        reset_worker_caches()
+        self._begin_run(workloads)
         try:
             recordings = self._record_stage(workloads)
-            return self._classification_stage(recordings)
+            runs = self._classification_stage(recordings)
         finally:
             self._dispatcher.shutdown()
+            stats = self._finish_run()
+        for run in runs:
+            run.stats = stats
+        return runs
 
     # ---------------------------------------------------------------- stage 3
 
@@ -354,10 +415,11 @@ class AnalysisEngine:
                     )
                     cached = self.classification_cache.load(workload.name, key)
                     if cached is not None:
-                        GLOBAL_STATS.classification_cache_hits += 1
+                        self.events.emit("cache", tier="classification", hit=True)
                         cached_counts[index] += 1
                         slots[index][race.race_id] = cached
                         continue
+                    self.events.emit("cache", tier="classification", hit=False)
                 misses.append((index, race.race_id, key))
 
         # Serialize traces lazily: only workloads with at least one cache
@@ -453,7 +515,7 @@ class AnalysisEngine:
         self, name: str, index: int, race_id: int, key: str,
         classified: ClassifiedRace, slots,
     ) -> None:
-        GLOBAL_STATS.classifications_computed += 1
+        self.events.emit("classification_computed", workload=name, race=race_id)
         if self.classification_cache is not None and key:
             self.classification_cache.store(name, key, classified)
         slots[index][race_id] = classified
@@ -468,10 +530,17 @@ class AnalysisEngine:
             )
             for index, race_id, _key in misses
         ]
+        for index, race_id, _key in misses:
+            self.events.emit(
+                "task_submit",
+                stage="classify",
+                workload=recordings[index].workload.name,
+                race=race_id,
+            )
         for (index, race_id, key), data in zip(
             misses, self._dispatch(payloads, execute_task)
         ):
-            GLOBAL_STATS.absorb_solver(data.get("solver"))
+            self.events.absorb(data.get("events"))
             self._store_classification(
                 recordings[index].workload.name,
                 index,
@@ -553,6 +622,13 @@ class AnalysisEngine:
         plans: List[Optional[Dict]] = [None] * len(misses)
         partials: Dict[Tuple[int, int], List[Dict]] = {}
         pending: Dict[object, Tuple[str, object]] = {}
+        for index, race_id, _key in misses:
+            self.events.emit(
+                "task_submit",
+                stage="plan",
+                workload=recordings[index].workload.name,
+                race=race_id,
+            )
         for position, payload in enumerate(plan_payloads):
             pending[pool.submit(execute_plan_task, payload)] = ("plan", position)
         plans_in_flight = len(pending)
@@ -594,16 +670,30 @@ class AnalysisEngine:
                     paths_in_flight -= 1
                     partials.setdefault(ref, []).extend(output)
                 overlap.update(plans_in_flight, paths_in_flight)
-        # Absorb counters only after the full drain succeeded: a mid-stream
-        # pool failure discards these results and re-runs, and must not
-        # leave counts for dispatches that produced nothing.
-        GLOBAL_STATS.stage_overlap_seconds += overlap.total()
-        GLOBAL_STATS.pool_reuses += path_batches
-        for plan in plans:
-            GLOBAL_STATS.absorb_solver(plan.get("solver"))
-        for outputs in partials.values():
-            for output in outputs:
-                self._absorb_path_output(output)
+        # Emit and absorb events only after the full drain succeeded: a
+        # mid-stream pool failure discards these results and re-runs, and
+        # must not leave events for dispatches that produced nothing.
+        # Nothing is emitted *during* the drain and the absorption below
+        # walks misses in order (path partials sorted by path index), so the
+        # merged stream is bit-identical across completion interleavings.
+        self.events.emit("stage_overlap", seconds=overlap.total())
+        for _ in range(path_batches):
+            self.events.emit("pool", action="reused")
+        for (index, race_id, _key), plan in zip(misses, plans):
+            self.events.absorb(plan.get("events"))
+            workload = recordings[index].workload.name
+            for path_index in range(plan["path_count"] if plan["needs_paths"] else 0):
+                self.events.emit(
+                    "task_submit",
+                    stage="path",
+                    workload=workload,
+                    race=race_id,
+                    path=path_index,
+                )
+            for output in sorted(
+                partials.get((index, race_id), ()), key=lambda o: o["path_index"]
+            ):
+                self.events.absorb(output.get("events"))
         return plans, partials
 
     def _barrier_plan_paths(
@@ -614,30 +704,36 @@ class AnalysisEngine:
         Also the serial fallback -- with no pool, ``_dispatch`` runs the
         identical task code in-process, and interleaving would buy nothing.
         """
+        for index, race_id, _key in misses:
+            self.events.emit(
+                "task_submit",
+                stage="plan",
+                workload=recordings[index].workload.name,
+                race=race_id,
+            )
         plans = list(self._dispatch(plan_payloads, execute_plan_task))
         for plan in plans:
-            GLOBAL_STATS.absorb_solver(plan.get("solver"))
+            self.events.absorb(plan.get("events"))
         path_payloads: List[Dict] = []
         path_refs: List[Tuple[int, int]] = []
         for (index, race_id, _key), plan in zip(misses, plans):
             for payload in self._path_payloads(
                 recordings, contexts, config_data, index, race_id, plan
             ):
+                self.events.emit(
+                    "task_submit",
+                    stage="path",
+                    workload=recordings[index].workload.name,
+                    race=race_id,
+                    path=payload["path_index"],
+                )
                 path_payloads.append(payload)
                 path_refs.append((index, race_id))
         partials: Dict[Tuple[int, int], List[Dict]] = {}
         for ref, output in zip(path_refs, self._dispatch(path_payloads, execute_path_task)):
-            self._absorb_path_output(output)
+            self.events.absorb(output.get("events"))
             partials.setdefault(ref, []).append(output)
         return plans, partials
-
-    @staticmethod
-    def _absorb_path_output(output: Dict) -> None:
-        GLOBAL_STATS.absorb_solver(output.get("solver"))
-        if output.get("reexplored"):
-            GLOBAL_STATS.primaries_reexplored += 1
-        else:
-            GLOBAL_STATS.primaries_shipped += 1
 
     def _merge_path_results(self, recordings, misses, plans, partials, slots) -> None:
         """Deterministic merge: recombine partial verdicts in path order.
@@ -743,13 +839,15 @@ def classify_races_parallel(
         ).to_payload()
         for race in races
     ]
-    dispatcher = PoolDispatcher(workers, dispatch)
+    events = EventLogger()
+    dispatcher = PoolDispatcher(workers, dispatch, events)
     try:
         outputs = dispatcher.map(payloads, execute_task)
     finally:
         dispatcher.shutdown()
     classified: List[ClassifiedRace] = []
     for output in outputs:
-        GLOBAL_STATS.absorb_solver(output.get("solver"))
+        events.absorb(output.get("events"))
         classified.append(ClassifiedRace.from_dict(output["classified"]))
+    GLOBAL_STATS.merge(events.fold())
     return classified

@@ -1,0 +1,383 @@
+"""Typed, JSON-lines structured event log for the analysis engine.
+
+The engine used to maintain its pipeline counters by incrementing
+:class:`~repro.engine.stats.EngineStats` fields at a dozen call sites across
+``engine.py``, ``dispatch.py`` and ``tasks.py``.  This module inverts that:
+the pipeline *emits typed events* and every counter is a **fold** over the
+event stream (:func:`fold_events`).  The stream is the source of truth; the
+stats object is a view.  The same stream, written as JSON lines via
+``--events <path>``, is the wire format future progress-reporting fronts
+(``repro serve``, distributed dispatch) consume, and the ``events-info``
+CLI summarizes it after the fact.
+
+Event schema -- every event is a flat JSON object with a ``kind`` from
+:data:`EVENT_KINDS` plus kind-specific fields:
+
+===========================  ====================================================
+kind                         fields
+===========================  ====================================================
+``run_start``                ``workloads`` (names), ``dispatch``, ``parallel``,
+                             ``granularity``, ``solver``
+``run_finish``               ``seconds``
+``task_submit``              ``stage`` (record/classify/plan/path), ``workload``,
+                             ``race`` / ``path`` when applicable
+``task_start``               ``stage``, ``workload``, ``race``/``path`` (worker)
+``task_finish``              ``stage``, ``workload``, ``race``/``path``,
+                             ``seconds`` (worker)
+``trace_recorded``           ``workload``
+``cache``                    ``tier`` (trace/classification/solver), ``hit``
+                             (bool), ``worker_hit`` (solver tier only)
+``classification_computed``  ``workload``, ``race``
+``primary``                  ``shipped`` (bool) -- path-task primary reuse
+``solver_query``             ``backend``, ``result``, ``cached``,
+                             ``worker_hit``, ``seconds`` (worker, per query)
+``solver_stats``             ``backend`` + a ``SolverStats.to_dict()`` snapshot
+                             (one per task, the aggregate of its queries)
+``pool``                     ``action`` (created/reused)
+``stage_overlap``            ``seconds`` -- plan/path simultaneous flight
+``events_truncated``         ``dropped`` -- per-task buffer cap was hit
+===========================  ====================================================
+
+Folding semantics (:func:`fold_events`): ``trace_recorded`` increments
+``traces_recorded``; ``cache`` events increment the hit/miss counter of
+their tier; ``classification_computed`` and ``primary`` count themselves;
+``solver_stats`` snapshots are absorbed into the ``solver_*`` counters
+(``solver_query`` events are *per-query detail* and deliberately **not**
+folded -- the per-task snapshot already aggregates them, and folding both
+would double-count); ``pool`` and ``stage_overlap`` feed the pool-lifecycle
+counters.  Lifecycle events (``run_*``, ``task_*``) carry latency data for
+``events-info`` histograms but fold to nothing.
+
+Determinism: workers buffer events in an :class:`EventBuffer` attached to
+the task result payload (exactly like the solver-stats snapshots before);
+the driver absorbs buffers in task order -- miss order for plans, ascending
+``path_index`` for path partials -- never in future-completion order, so
+the merged stream is structurally bit-identical across completion
+interleavings: same events, same order, same identity fields.  The
+nondeterministic residue is the ``ts``/``seconds`` timestamps and cache
+*attribution* -- whether a given query hit the shared worker-lifetime cache
+(and hence a task's enumeration count) depends on which task a pool
+executed first, even though verdicts and fold totals do not.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.engine.stats import EngineStats
+
+#: every event kind the pipeline may emit
+EVENT_KINDS = (
+    "run_start",
+    "run_finish",
+    "task_submit",
+    "task_start",
+    "task_finish",
+    "trace_recorded",
+    "cache",
+    "classification_computed",
+    "primary",
+    "solver_query",
+    "solver_stats",
+    "pool",
+    "stage_overlap",
+    "events_truncated",
+)
+
+#: per-task cap on buffered ``solver_query`` detail events.  A heavy task on
+#: today's workloads issues ~150 queries, so 2048 is ample headroom; if a
+#: task ever exceeds it, the buffer appends an ``events_truncated`` marker
+#: with the dropped count rather than silently capping.
+SOLVER_QUERY_BUFFER_CAP = 2048
+
+Event = Dict[str, object]
+
+
+def make_event(kind: str, **data) -> Event:
+    """Build a timestamped event, validating the kind."""
+    if kind not in EVENT_KINDS:
+        raise ValueError(
+            f"unknown event kind {kind!r}; expected one of {', '.join(EVENT_KINDS)}"
+        )
+    event: Event = {"kind": kind, "ts": time.time()}
+    event.update(data)
+    return event
+
+
+class EventBuffer:
+    """Per-worker (per-task) event accumulator.
+
+    Tasks build one of these, pass :meth:`sink` to their solver, emit their
+    lifecycle events into it, and attach :meth:`drain`'s list to the result
+    payload -- the driver absorbs it into the run's :class:`EventLogger`.
+    ``solver_query`` detail events are capped at
+    :data:`SOLVER_QUERY_BUFFER_CAP` per task; dropped events are counted and
+    reported via a trailing ``events_truncated`` event.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+        self._solver_queries = 0
+        self._dropped = 0
+
+    def emit(self, kind: str, **data) -> None:
+        self.sink(make_event(kind, **data))
+
+    def sink(self, event: Event) -> None:
+        """Accept a pre-built event (the solver's ``event_sink`` callable)."""
+        if event.get("kind") == "solver_query":
+            self._solver_queries += 1
+            if self._solver_queries > SOLVER_QUERY_BUFFER_CAP:
+                self._dropped += 1
+                return
+        if "ts" not in event:
+            event = dict(event)
+            event["ts"] = time.time()
+        self._events.append(event)
+
+    def drain(self) -> List[Event]:
+        """Return the buffered events (plus a truncation marker if any were
+        dropped) and reset the buffer."""
+        events = self._events
+        if self._dropped:
+            events.append(make_event("events_truncated", dropped=self._dropped))
+        self._events = []
+        self._solver_queries = 0
+        self._dropped = 0
+        return events
+
+
+class EventLogger:
+    """The driver-side event stream for one engine run.
+
+    Collects events emitted by the driving process and absorbed from worker
+    buffers, in deterministic order.  ``reset`` clears in place (the
+    dispatcher holds a reference), ``snapshot`` copies the stream out so a
+    finished run's events survive the next run's reset.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def emit(self, kind: str, **data) -> None:
+        self._events.append(make_event(kind, **data))
+
+    def absorb(self, events: Optional[Iterable[Event]]) -> None:
+        """Append a worker buffer's events to the stream."""
+        if not events:
+            return
+        self._events.extend(events)
+
+    def reset(self) -> None:
+        del self._events[:]
+
+    def snapshot(self) -> List[Event]:
+        return list(self._events)
+
+    def fold(self) -> EngineStats:
+        return fold_events(self._events)
+
+
+def fold_events(events: Iterable[Event]) -> EngineStats:
+    """Derive an :class:`EngineStats` view from an event stream.
+
+    This is the *only* producer of engine counters: every field of the
+    returned stats object is computed here, from events alone.
+    """
+    stats = EngineStats()
+    for event in events:
+        kind = event.get("kind")
+        if kind == "trace_recorded":
+            stats.traces_recorded += 1
+        elif kind == "cache":
+            tier = event.get("tier")
+            hit = bool(event.get("hit"))
+            if tier == "trace":
+                if hit:
+                    stats.trace_cache_hits += 1
+            elif tier == "classification":
+                if hit:
+                    stats.classification_cache_hits += 1
+        elif kind == "classification_computed":
+            stats.classifications_computed += 1
+        elif kind == "primary":
+            if event.get("shipped"):
+                stats.primaries_shipped += 1
+            else:
+                stats.primaries_reexplored += 1
+        elif kind == "solver_stats":
+            # The per-task aggregate; per-query ``solver_query`` events are
+            # detail for histograms and must not be folded on top.
+            stats.absorb_solver(event)
+        elif kind == "pool":
+            if event.get("action") == "created":
+                stats.pools_created += 1
+            elif event.get("action") == "reused":
+                stats.pool_reuses += 1
+        elif kind == "stage_overlap":
+            stats.stage_overlap_seconds += float(event.get("seconds", 0.0))
+    return stats
+
+
+# ------------------------------------------------------------------ JSONL io
+
+
+def write_events(events: Sequence[Event], path: str, append: bool = True) -> None:
+    """Serialize events as JSON lines (one object per line)."""
+    mode = "a" if append else "w"
+    with open(path, mode, encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+
+
+def load_events(path: str) -> List[Event]:
+    """Read a JSON-lines event file back into a list of events."""
+    events: List[Event] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+# ------------------------------------------------------------- events-info
+
+
+#: latency histogram bucket upper bounds (seconds), last bucket is open
+_LATENCY_BUCKETS = (0.001, 0.01, 0.1, 1.0)
+
+
+def _bucket_label(index: int) -> str:
+    labels = ["<1ms", "<10ms", "<100ms", "<1s", ">=1s"]
+    return labels[index]
+
+
+def _histogram(seconds: Sequence[float]) -> List[int]:
+    counts = [0] * (len(_LATENCY_BUCKETS) + 1)
+    for value in seconds:
+        for index, bound in enumerate(_LATENCY_BUCKETS):
+            if value < bound:
+                counts[index] += 1
+                break
+        else:
+            counts[len(_LATENCY_BUCKETS)] += 1
+    return counts
+
+
+def summarize_events(events: Sequence[Event]) -> Dict[str, object]:
+    """Mine an event stream for the ``events-info`` report.
+
+    Returns a dict with: by-kind counts, the folded stats, per-stage task
+    latency histograms, cache hit rates by tier, and solver time/query
+    counts grouped by backend.
+    """
+    by_kind: Dict[str, int] = {}
+    stage_latencies: Dict[str, List[float]] = {}
+    cache_totals: Dict[str, Dict[str, int]] = {}
+    backends: Dict[str, Dict[str, float]] = {}
+    for event in events:
+        kind = str(event.get("kind"))
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        if kind == "task_finish":
+            stage = str(event.get("stage", "?"))
+            stage_latencies.setdefault(stage, []).append(
+                float(event.get("seconds", 0.0))
+            )
+        elif kind == "cache":
+            tier = str(event.get("tier", "?"))
+            entry = cache_totals.setdefault(tier, {"hits": 0, "misses": 0})
+            entry["hits" if event.get("hit") else "misses"] += 1
+        elif kind == "solver_stats":
+            backend = str(event.get("backend", "default"))
+            entry = backends.setdefault(
+                backend,
+                {"queries": 0, "seconds": 0.0, "enumerated": 0, "fastpath": 0},
+            )
+            entry["queries"] += int(event.get("queries", 0))
+            entry["seconds"] += float(event.get("seconds", 0.0))
+            entry["enumerated"] += int(event.get("enumerated_assignments", 0))
+            entry["fastpath"] += int(event.get("fastpath_answers", 0))
+    histograms = {
+        stage: {
+            "count": len(latencies),
+            "total_seconds": sum(latencies),
+            "buckets": {
+                _bucket_label(index): count
+                for index, count in enumerate(_histogram(latencies))
+            },
+        }
+        for stage, latencies in sorted(stage_latencies.items())
+    }
+    cache_rates = {
+        tier: {
+            "hits": entry["hits"],
+            "misses": entry["misses"],
+            "hit_rate": (
+                entry["hits"] / (entry["hits"] + entry["misses"])
+                if entry["hits"] + entry["misses"]
+                else 0.0
+            ),
+        }
+        for tier, entry in sorted(cache_totals.items())
+    }
+    return {
+        "events": len(events),
+        "by_kind": dict(sorted(by_kind.items())),
+        "stats": fold_events(events).summary(),
+        "stage_latency": histograms,
+        "cache_rates": cache_rates,
+        "solver_backends": dict(sorted(backends.items())),
+    }
+
+
+def render_events_info(events: Sequence[Event]) -> str:
+    """Human-readable ``events-info`` report for an event stream."""
+    summary = summarize_events(events)
+    lines: List[str] = []
+    lines.append(f"events: {summary['events']}")
+    lines.append("")
+    lines.append("by kind:")
+    for kind, count in summary["by_kind"].items():
+        lines.append(f"  {kind} {count}")
+    lines.append("")
+    lines.append("per-stage task latency:")
+    for stage, data in summary["stage_latency"].items():
+        buckets = "  ".join(
+            f"{label}:{count}" for label, count in data["buckets"].items()
+        )
+        lines.append(
+            f"  {stage}: n={data['count']} "
+            f"total={data['total_seconds']:.3f}s  {buckets}"
+        )
+    if not summary["stage_latency"]:
+        lines.append("  (no task_finish events)")
+    lines.append("")
+    lines.append("cache hit rates:")
+    for tier, data in summary["cache_rates"].items():
+        lines.append(
+            f"  {tier}: hits={data['hits']} misses={data['misses']} "
+            f"hit_rate={data['hit_rate']:.1%}"
+        )
+    if not summary["cache_rates"]:
+        lines.append("  (no cache events)")
+    lines.append("")
+    lines.append("solver time by backend:")
+    for backend, data in summary["solver_backends"].items():
+        lines.append(
+            f"  {backend}: queries={int(data['queries'])} "
+            f"seconds={data['seconds']:.3f} "
+            f"enumerated={int(data['enumerated'])} "
+            f"fastpath={int(data['fastpath'])}"
+        )
+    if not summary["solver_backends"]:
+        lines.append("  (no solver_stats events)")
+    lines.append("")
+    lines.append(summary["stats"])
+    return "\n".join(lines)

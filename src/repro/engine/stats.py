@@ -1,4 +1,4 @@
-"""Process-wide counters for the analysis engine's pipeline stages.
+"""Counters for the analysis engine's pipeline stages -- now an event fold.
 
 The counters answer the operational questions the caches raise: how many
 traces were actually re-recorded, and how many races were actually
@@ -7,11 +7,17 @@ the CI warm-cache job asserts exactly that string on the second of two
 identically-configured ``python -m repro.experiments all --cache-dir D``
 invocations.
 
-The stats are a module-level aggregate (one experiment invocation builds
-many short-lived :class:`AnalysisEngine` instances -- one per ablation
-config -- and the interesting number is the total across all of them).  All
-counting happens in the driving process: pool workers never touch these
-counters, the engine increments them as it dispatches and collects tasks.
+Since the structured-event refactor, :class:`EngineStats` is a *view*: the
+engine emits typed events (see :mod:`repro.engine.events`) and every counter
+here is produced by folding that stream with
+:func:`repro.engine.events.fold_events`.  Nothing in the pipeline increments
+these fields directly anymore; ``GLOBAL_STATS`` survives as a compatibility
+aggregate that the engine updates by merging each run's folded stats when
+the run finishes (one experiment invocation builds many short-lived
+:class:`AnalysisEngine` instances -- one per ablation config -- and the
+interesting number is the total across all of them).  All event emission in
+the driving process happens as tasks are dispatched and collected; pool
+workers only attach event buffers to their result payloads.
 """
 
 from __future__ import annotations
@@ -46,6 +52,10 @@ class EngineStats:
     #: the subset of solver cache hits served from a worker-lifetime entry
     #: written by an earlier task of the same process
     worker_cache_hits: int = 0
+    #: queries a backend answered without enumerating (portfolio fast path)
+    solver_fastpath_answers: int = 0
+    #: wall-clock seconds spent inside solver queries (aggregated)
+    solver_seconds: float = 0.0
     #: ProcessPoolExecutor constructions (streaming: one per engine run)
     pools_created: int = 0
     #: dispatches served by an already-running persistent pool
@@ -66,9 +76,31 @@ class EngineStats:
         self.solver_cache_misses = 0
         self.solver_assignments_enumerated = 0
         self.worker_cache_hits = 0
+        self.solver_fastpath_answers = 0
+        self.solver_seconds = 0.0
         self.pools_created = 0
         self.pool_reuses = 0
         self.stage_overlap_seconds = 0.0
+
+    def merge(self, other: "EngineStats") -> None:
+        """Add another stats view into this one (used to fold a finished
+        run's per-run stats into the process-wide ``GLOBAL_STATS``)."""
+        self.traces_recorded += other.traces_recorded
+        self.trace_cache_hits += other.trace_cache_hits
+        self.classifications_computed += other.classifications_computed
+        self.classification_cache_hits += other.classification_cache_hits
+        self.primaries_shipped += other.primaries_shipped
+        self.primaries_reexplored += other.primaries_reexplored
+        self.solver_queries += other.solver_queries
+        self.solver_cache_hits += other.solver_cache_hits
+        self.solver_cache_misses += other.solver_cache_misses
+        self.solver_assignments_enumerated += other.solver_assignments_enumerated
+        self.worker_cache_hits += other.worker_cache_hits
+        self.solver_fastpath_answers += other.solver_fastpath_answers
+        self.solver_seconds += other.solver_seconds
+        self.pools_created += other.pools_created
+        self.pool_reuses += other.pool_reuses
+        self.stage_overlap_seconds += other.stage_overlap_seconds
 
     def absorb_solver(self, payload) -> None:
         """Fold one task's solver-counter snapshot into the aggregate.
@@ -86,6 +118,8 @@ class EngineStats:
         self.solver_cache_misses += payload.get("cache_misses", 0)
         self.solver_assignments_enumerated += payload.get("enumerated_assignments", 0)
         self.worker_cache_hits += payload.get("worker_cache_hits", 0)
+        self.solver_fastpath_answers += payload.get("fastpath_answers", 0)
+        self.solver_seconds += payload.get("seconds", 0.0)
 
     def summary(self) -> str:
         return (
@@ -99,6 +133,7 @@ class EngineStats:
             f"(cache hits={self.solver_cache_hits}, "
             f"misses={self.solver_cache_misses}), "
             f"solver assignments enumerated={self.solver_assignments_enumerated}, "
+            f"solver fast-path answers={self.solver_fastpath_answers}, "
             f"worker-cache hits={self.worker_cache_hits}, "
             f"pools created={self.pools_created}, "
             f"pool reuses={self.pool_reuses}, "
@@ -106,5 +141,7 @@ class EngineStats:
         )
 
 
-#: the process-wide aggregate, reset by ``python -m repro.experiments``
+#: the process-wide compatibility aggregate: each engine run folds its event
+#: stream into per-run stats and merges them here when the run finishes;
+#: reset by ``python -m repro.experiments``
 GLOBAL_STATS = EngineStats()

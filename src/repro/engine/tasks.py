@@ -32,6 +32,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import PortendConfig
+from repro.engine.events import EventBuffer
 from repro.record_replay.trace import ExecutionTrace
 
 
@@ -150,22 +151,65 @@ def _solver_snapshot(portend) -> Dict:
     return portend.executor.solver.stats.to_dict()
 
 
-def _build_portend(task, program, config, predicates):
+def _build_portend(task, program, config, predicates, events: Optional[EventBuffer] = None):
     """A per-task Portend whose solver joins the worker-lifetime cache.
 
-    Every task still gets a fresh :class:`~repro.symex.solver.Solver` (so its
-    stats snapshot is the task's delta), but when the payload names a program
-    fingerprint the solver's memo dicts are the process-shared ones for that
-    program: identical constraint-set queries across the races and primary
-    paths of one workload hit warm entries instead of re-enumerating.
+    Every task still gets a fresh solver (so its stats snapshot is the
+    task's delta), built by the factory the config's ``solver_backend``
+    names -- pool workers construct the same backend the driver chose
+    because the backend name travels inside the task's config dict.  When
+    the payload names a program fingerprint the solver's memo dicts are the
+    process-shared ones for that program: identical constraint-set queries
+    across the races and primary paths of one workload hit warm entries
+    instead of re-enumerating.  When an event buffer is supplied, the
+    solver's per-query events flow into it.
     """
     from repro.core.portend import Portend
-    from repro.symex.solver import Solver, worker_solver_cache
+    from repro.symex.factory import create_solver
+    from repro.symex.solver import worker_solver_cache
 
-    solver = None
+    shared = None
     if task.program_fingerprint:
-        solver = Solver(shared_cache=worker_solver_cache(task.program_fingerprint))
+        shared = worker_solver_cache(task.program_fingerprint)
+    solver = create_solver(
+        config,
+        shared_cache=shared,
+        event_sink=events.sink if events is not None else None,
+    )
     return Portend(program, config=config, predicates=predicates, solver=solver)
+
+
+def _begin_task(stage: str, workload: str, **detail) -> Tuple[EventBuffer, float]:
+    """Open a task's event buffer and emit its ``task_start``."""
+    events = EventBuffer()
+    events.emit("task_start", stage=stage, workload=workload, **detail)
+    return events, time.perf_counter()
+
+
+def _finish_task(
+    events: EventBuffer,
+    stage: str,
+    workload: str,
+    started: float,
+    portend=None,
+    **detail,
+) -> Tuple[Dict, list]:
+    """Emit the task's ``solver_stats`` + ``task_finish`` events and return
+    ``(solver snapshot, drained events)`` for the result payload."""
+    snapshot: Dict = {}
+    if portend is not None:
+        snapshot = _solver_snapshot(portend)
+        events.emit(
+            "solver_stats", backend=portend.executor.solver.backend, **snapshot
+        )
+    events.emit(
+        "task_finish",
+        stage=stage,
+        workload=workload,
+        seconds=time.perf_counter() - started,
+        **detail,
+    )
+    return snapshot, events.drain()
 
 
 def pool_worker_initializer() -> None:
@@ -202,10 +246,14 @@ def execute_task(payload: Mapping) -> Dict:
     program, predicates = _resolve_program(task)
     config = PortendConfig.from_dict(task.config)
     trace = _resolve_trace(task)
-    portend = _build_portend(task, program, config, predicates)
+    events, started = _begin_task("classify", task.workload, race=task.race_id)
+    portend = _build_portend(task, program, config, predicates, events)
     race = trace.race_by_id(task.race_id)
     classified = portend.classify_race(trace, race).to_dict()
-    return {"classified": classified, "solver": _solver_snapshot(portend)}
+    snapshot, event_list = _finish_task(
+        events, "classify", task.workload, started, portend, race=task.race_id
+    )
+    return {"classified": classified, "solver": snapshot, "events": event_list}
 
 
 # --------------------------------------------------------------- Stage 1 task
@@ -257,12 +305,18 @@ def execute_record_task(payload: Mapping) -> Dict:
     if program is None:
         program = load_workload(task.workload).program
     config = PortendConfig.from_dict(task.config)
+    events, started = _begin_task("record", task.workload)
     trace, detection_seconds = record_program_trace(
         program,
         concrete_inputs=dict(task.inputs),
         max_steps=config.max_steps_per_execution,
     )
-    return {"trace": trace.to_dict(), "detection_seconds": detection_seconds}
+    _, event_list = _finish_task(events, "record", task.workload, started)
+    return {
+        "trace": trace.to_dict(),
+        "detection_seconds": detection_seconds,
+        "events": event_list,
+    }
 
 
 # --------------------------------------------------- Stage 3 per-path tasks
@@ -295,7 +349,8 @@ def execute_plan_task(payload: Mapping) -> Dict:
     program, predicates = _resolve_program(task)
     config = PortendConfig.from_dict(task.config)
     trace = _resolve_trace(task)
-    portend = _build_portend(task, program, config, predicates)
+    events, _ = _begin_task("plan", task.workload, race=task.race_id)
+    portend = _build_portend(task, program, config, predicates, events)
     race = trace.race_by_id(task.race_id)
 
     started = time.perf_counter()
@@ -324,7 +379,11 @@ def execute_plan_task(payload: Mapping) -> Dict:
             prune_reasons=list(explorer.prune_reasons),
         )
     plan["seconds"] = time.perf_counter() - started
-    plan["solver"] = _solver_snapshot(portend)
+    snapshot, event_list = _finish_task(
+        events, "plan", task.workload, started, portend, race=task.race_id
+    )
+    plan["solver"] = snapshot
+    plan["events"] = event_list
     return plan
 
 
@@ -373,7 +432,10 @@ def execute_path_task(payload: Mapping) -> Dict:
     program, predicates = _resolve_program(task)
     config = PortendConfig.from_dict(task.config)
     trace = _resolve_trace(task)
-    portend = _build_portend(task, program, config, predicates)
+    events, _ = _begin_task(
+        "path", task.workload, race=task.race_id, path=task.path_index
+    )
+    portend = _build_portend(task, program, config, predicates, events)
     race = trace.race_by_id(task.race_id)
 
     started = time.perf_counter()
@@ -406,13 +468,25 @@ def execute_path_task(payload: Mapping) -> Dict:
         path,
         predicates=predicates,
     )
+    seconds = time.perf_counter() - started
+    events.emit("primary", shipped=not reexplored)
+    snapshot, event_list = _finish_task(
+        events,
+        "path",
+        task.workload,
+        started,
+        portend,
+        race=task.race_id,
+        path=task.path_index,
+    )
     return {
         "race_id": task.race_id,
         "path_index": task.path_index,
         "verdict": verdict.to_dict(),
         "reexplored": reexplored,
-        "seconds": time.perf_counter() - started,
-        "solver": _solver_snapshot(portend),
+        "seconds": seconds,
+        "solver": snapshot,
+        "events": event_list,
     }
 
 

@@ -42,9 +42,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "cache-info"],
-        help="which table/figure to regenerate, or 'cache-info' to dump "
-        "per-entry age and hit counts of a --cache-dir",
+        choices=sorted(_EXPERIMENTS) + ["all", "cache-info", "events-info"],
+        help="which table/figure to regenerate, 'cache-info' to dump "
+        "per-entry age and hit counts of a --cache-dir, or 'events-info' to "
+        "summarize a structured event log written via --events",
     )
     parser.add_argument(
         "--parallel",
@@ -86,6 +87,23 @@ def main(argv=None) -> int:
         "(kept for A/B comparison)",
     )
     parser.add_argument(
+        "--solver",
+        default=None,
+        metavar="BACKEND",
+        help="solver backend for every analysis: 'default' (bounded "
+        "enumeration) or 'portfolio' (interval-propagation fast path with "
+        "enumeration fallback); backends are verdict-bit-identical.  "
+        "Defaults to the REPRO_SOLVER environment variable, else 'default'",
+    )
+    parser.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="append every engine run's structured event stream to PATH as "
+        "JSON lines (the file is truncated at invocation start); summarize "
+        "it afterwards with the 'events-info' experiment",
+    )
+    parser.add_argument(
         "--cache-max-entries",
         type=int,
         default=None,
@@ -108,6 +126,27 @@ def main(argv=None) -> int:
 
         print(render_cache_info(collect_cache_info(args.cache_dir)))
         return 0
+
+    if args.experiment == "events-info":
+        if not args.events:
+            parser.error("events-info requires --events")
+        from repro.engine.events import load_events, render_events_info
+
+        print(render_events_info(load_events(args.events)))
+        return 0
+
+    if args.solver is not None:
+        from repro.symex.factory import solver_backends
+
+        if args.solver not in solver_backends():
+            parser.error(
+                f"unknown solver backend {args.solver!r}; "
+                f"choose from {', '.join(solver_backends())}"
+            )
+
+    if args.events:
+        # Engine runs append; start each invocation from an empty log.
+        open(args.events, "w", encoding="utf-8").close()
 
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
 
@@ -132,6 +171,8 @@ def main(argv=None) -> int:
             granularity=args.granularity,
             cache_max_entries=args.cache_max_entries,
             dispatch=args.dispatch,
+            solver=args.solver,
+            events=args.events,
         )
 
     for name in names:
@@ -144,6 +185,8 @@ def main(argv=None) -> int:
                 cache_dir=args.cache_dir,
                 granularity=args.granularity,
                 dispatch=args.dispatch,
+                solver=args.solver,
+                events=args.events,
                 **kwargs,
             )
         else:

@@ -28,6 +28,8 @@ def run(
     cache_dir: Optional[str] = None,
     granularity: str = "auto",
     dispatch: str = "streaming",
+    solver: Optional[str] = None,
+    events: Optional[str] = None,
 ) -> Fig10Result:
     base = base_config or PortendConfig()
     result = Fig10Result()
@@ -43,6 +45,8 @@ def run(
                 cache_dir=cache_dir,
                 granularity=granularity,
                 dispatch=dispatch,
+                solver=solver,
+                events=events,
             )
             score = score_workload(workload, run_.result.classified)
             result.accuracy[name][k] = score.accuracy

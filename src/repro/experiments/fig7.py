@@ -41,6 +41,8 @@ def run(
     cache_dir: Optional[str] = None,
     granularity: str = "auto",
     dispatch: str = "streaming",
+    solver: Optional[str] = None,
+    events: Optional[str] = None,
 ) -> Fig7Result:
     base = base_config or PortendConfig()
     result = Fig7Result()
@@ -55,6 +57,8 @@ def run(
                 cache_dir=cache_dir,
                 granularity=granularity,
                 dispatch=dispatch,
+                solver=solver,
+                events=events,
             )
             score = score_workload(workload, run_.result.classified)
             result.accuracy[name][technique] = score.accuracy

@@ -9,7 +9,7 @@ trace-cached) and repackages the engine's per-workload results into
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import PortendConfig
@@ -56,7 +56,11 @@ def _engine(
     granularity: str,
     cache_max_entries: Optional[int] = None,
     dispatch: str = "streaming",
+    solver: Optional[str] = None,
+    events: Optional[str] = None,
 ) -> AnalysisEngine:
+    if solver is not None:
+        config = replace(config or PortendConfig(), solver_backend=solver)
     return AnalysisEngine(
         config=config,
         options=EngineOptions(
@@ -66,6 +70,7 @@ def _engine(
             granularity=granularity,
             cache_max_entries=cache_max_entries,
             dispatch=dispatch,
+            events_path=events,
         ),
     )
 
@@ -103,11 +108,13 @@ def analyze_workload(
     granularity: str = "auto",
     cache_max_entries: Optional[int] = None,
     dispatch: str = "streaming",
+    solver: Optional[str] = None,
+    events: Optional[str] = None,
 ) -> WorkloadRun:
     """Run detection + classification for one workload."""
     engine = _engine(
         config, use_semantic_predicates, parallel, cache_dir, granularity,
-        cache_max_entries, dispatch,
+        cache_max_entries, dispatch, solver, events,
     )
     engine_runs = engine.analyze_workloads([workload])
     return _wrap_runs(engine, engine_runs, use_semantic_predicates, measure_plain_time)[0]
@@ -124,6 +131,8 @@ def analyze_all(
     granularity: str = "auto",
     cache_max_entries: Optional[int] = None,
     dispatch: str = "streaming",
+    solver: Optional[str] = None,
+    events: Optional[str] = None,
 ) -> List[WorkloadRun]:
     """Run Portend over a set of workloads (default: the full Table 1 list).
 
@@ -132,7 +141,9 @@ def analyze_all(
     invocations; ``granularity`` picks the stage-3 task grain ("race",
     "path", or "auto"); ``dispatch`` picks the pool strategy ("streaming"
     persistent-pool futures or the legacy "barrier" -- see
-    :class:`repro.engine.EngineOptions`).
+    :class:`repro.engine.EngineOptions`); ``solver`` overrides the
+    config's solver backend (see :mod:`repro.symex.factory`); ``events``
+    appends the run's structured event stream to a JSON-lines file.
     """
     if names is None:
         workloads = all_workloads(include_micro=include_micro)
@@ -140,7 +151,7 @@ def analyze_all(
         workloads = [load_workload(name) for name in names]
     engine = _engine(
         config, use_semantic_predicates, parallel, cache_dir, granularity,
-        cache_max_entries, dispatch,
+        cache_max_entries, dispatch, solver, events,
     )
     engine_runs = engine.analyze_workloads(workloads)
     return _wrap_runs(engine, engine_runs, use_semantic_predicates, measure_plain_time)

@@ -45,6 +45,8 @@ def run(
     cache_dir: Optional[str] = None,
     granularity: str = "auto",
     dispatch: str = "streaming",
+    solver: Optional[str] = None,
+    events: Optional[str] = None,
 ) -> List[Table2Row]:
     config = config or PortendConfig()
     rows: List[Table2Row] = []
@@ -62,6 +64,8 @@ def run(
             cache_dir=cache_dir,
             granularity=granularity,
             dispatch=dispatch,
+            solver=solver,
+            events=events,
         )
         classified = run_result.result.classified
         rows.append(
@@ -85,6 +89,9 @@ def run(
         parallel=parallel,
         cache_dir=cache_dir,
         granularity=granularity,
+        dispatch=dispatch,
+        solver=solver,
+        events=events,
     )
     rows.insert(
         3,

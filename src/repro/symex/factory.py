@@ -1,0 +1,502 @@
+"""Solver construction behind a factory seam (the KLEE/chef shape).
+
+KLEE's chef fork constructs its ``Executor`` with a ``DefaultSolverFactory``
+and an ``EventLogger`` instead of hard-wiring one solver implementation;
+this module is the reproduction's version of that seam.  Every place that
+used to call ``Solver(...)`` directly -- the :class:`~repro.core.portend.Portend`
+facade and the engine's per-task ``_build_portend`` -- now asks a
+:class:`SolverFactory` for its solver, selected by name through
+``PortendConfig.solver_backend`` (CLI: ``--solver``).  Because the backend
+name travels inside the config dict of every task payload, pool workers
+construct the same backend the driver chose.
+
+Two backends ship:
+
+* ``default`` -- today's enumerating :class:`~repro.symex.solver.Solver`,
+  produced unchanged by :class:`DefaultSolverFactory`.
+* ``portfolio`` -- :class:`PortfolioSolver`, which runs an
+  interval-propagation fast path over the narrowed variable box before
+  falling back to enumeration.  When every constraint is *definitely true*
+  over the box, the first enumerated assignment (all interval minimums)
+  must satisfy the set, so the backend answers SAT with that exact model
+  without enumerating; when some constraint is *definitely false* over the
+  box, enumeration could never find a witness, so it answers UNSAT (or
+  UNKNOWN when the box exceeds the enumeration budget, mirroring the
+  default backend's exhaustiveness rule).  Anything the interval semantics
+  cannot decide falls through to the default enumeration.  Verdicts *and
+  models* are therefore bit-identical to the default backend -- asserted by
+  ``tests/test_events.py`` and ``benchmarks/bench_engine.py`` -- only the
+  work counters differ.
+
+All backends share the cache layers: the per-solver constraint-set memo and
+the worker-lifetime :class:`~repro.symex.solver.WorkerSolverCache` both live
+in the base class, so a factory-built solver joins them exactly as before.
+That is the cache-sharing contract a new backend must honor: answer
+bit-identically to the default backend, and never bypass :meth:`Solver.check`
+(the memo and the stats accounting live there).
+
+Registering a new backend::
+
+    class MySolver(Solver):
+        backend = "mine"
+        def _solve_narrowed(self, constraints, variables, intervals):
+            ...  # answer, or defer to super()
+
+    class MySolverFactory(SolverFactory):
+        name = "mine"
+        solver_class = MySolver
+
+    register_solver_factory(MySolverFactory())
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple, Type
+
+from repro.symex.expr import (
+    BinExpr,
+    IteExpr,
+    Op,
+    SymExpr,
+    SymVar,
+    UnExpr,
+    Value,
+)
+from repro.symex.solver import (
+    Solver,
+    SolverResult,
+    WorkerSolverCache,
+    _Interval,
+)
+
+Box = Dict[str, Tuple[int, int]]
+Interval = Tuple[int, int]
+
+
+# ------------------------------------------------------------------ factories
+
+
+class SolverFactory:
+    """Produces the solvers an executor (and every engine task) will use.
+
+    Subclasses set :attr:`name` (the ``--solver`` spelling) and
+    :attr:`solver_class`; :meth:`create` forwards the shared-cache and
+    event-sink wiring so every backend participates in the memo layers and
+    the structured event stream identically.
+    """
+
+    name: str = "abstract"
+    solver_class: Type[Solver] = Solver
+
+    def create(
+        self,
+        max_assignments: int = 200_000,
+        enable_cache: Optional[bool] = None,
+        shared_cache: Optional[WorkerSolverCache] = None,
+        event_sink: Optional[Callable[[Dict], None]] = None,
+    ) -> Solver:
+        return self.solver_class(
+            max_assignments=max_assignments,
+            enable_cache=enable_cache,
+            shared_cache=shared_cache,
+            event_sink=event_sink,
+        )
+
+
+class DefaultSolverFactory(SolverFactory):
+    """Today's enumerating solver, unchanged."""
+
+    name = "default"
+    solver_class = Solver
+
+
+# ------------------------------------------------------- portfolio backend
+
+
+class PortfolioSolver(Solver):
+    """Interval-propagation fast path in front of the enumerating solver.
+
+    Overrides :meth:`Solver._solve_narrowed`: before enumerating the
+    narrowed cross product, each constraint is evaluated over the interval
+    box with conservative interval arithmetic.  Three outcomes:
+
+    * every constraint is definitely nonzero over the box -- every
+      assignment satisfies the set, so the enumerator's *first* assignment
+      (all interval minimums) is a witness; answer SAT with exactly that
+      model, skipping enumeration;
+    * some constraint is definitely zero over the box -- no assignment can
+      satisfy the set; answer UNSAT when the box is within the enumeration
+      budget (the default backend would have exhausted it) and UNKNOWN
+      otherwise (the default backend would have given up);
+    * anything else -- fall back to the inherited enumeration.
+
+    Either way the answer is bit-identical to the default backend's; only
+    ``SolverStats.fastpath_answers``/``enumerated_assignments`` differ.
+    """
+
+    backend = "portfolio"
+
+    def _solve_narrowed(
+        self,
+        constraints: Sequence[Value],
+        variables: Sequence[SymVar],
+        intervals: Dict[str, _Interval],
+    ) -> Tuple[SolverResult, Optional[Dict[str, int]]]:
+        answer = self._interval_answer(constraints, variables, intervals)
+        if answer is not None:
+            return answer
+        return super()._solve_narrowed(constraints, variables, intervals)
+
+    def _interval_answer(
+        self,
+        constraints: Sequence[Value],
+        variables: Sequence[SymVar],
+        intervals: Dict[str, _Interval],
+    ) -> Optional[Tuple[SolverResult, Optional[Dict[str, int]]]]:
+        # Degenerate budgets/boxes change what enumeration would answer;
+        # leave those to the inherited machinery rather than risk divergence.
+        if self.max_assignments < 1:
+            return None
+        if any(intervals[var.name].is_empty() for var in variables):
+            return None
+        box: Box = {
+            var.name: (intervals[var.name].lo, intervals[var.name].hi)
+            for var in variables
+        }
+        # Propagate: intersect each variable's interval with the bounds the
+        # constraints imply.  Path conditions arrive as truthiness-wrapped
+        # comparisons (``(var >= k) != 0``), which the base narrowing does
+        # not consume; refinement is sound (only implied bounds are
+        # applied), so every satisfying assignment lies inside the refined
+        # box.  An emptied interval therefore proves unsatisfiability.
+        refined = dict(box)
+        for constraint in constraints:
+            if not _refine_bounds(constraint, True, refined):
+                return self._definitely_false(variables, intervals)
+        all_definitely_true = True
+        for constraint in constraints:
+            bounds = interval_eval(constraint, refined)
+            if bounds is None:
+                all_definitely_true = False
+                continue
+            lo, hi = bounds
+            if lo == 0 and hi == 0:
+                # Definitely false over a box containing every satisfying
+                # assignment: enumeration could never find a witness.
+                return self._definitely_false(variables, intervals)
+            if not (lo > 0 or hi < 0):
+                all_definitely_true = False
+        if all_definitely_true:
+            # Every refined-box assignment satisfies every constraint, and
+            # every satisfying assignment lies in the refined box, so the
+            # satisfying set IS the refined product box.  Its first element
+            # in the enumerator's order -- all refined minimums -- is the
+            # model the default backend would return... *if* enumeration
+            # reaches it.  Its position in the original enumeration order
+            # (variables sorted by name, rightmost varying fastest) decides:
+            # past the budget, the default backend gives up with UNKNOWN.
+            self.stats.fastpath_answers += 1
+            position = 0
+            stride = 1
+            for var in reversed(variables):
+                interval = intervals[var.name]
+                position += (refined[var.name][0] - interval.lo) * stride
+                stride *= interval.size()
+                if position >= self.max_assignments:
+                    self.stats.unknown_answers += 1
+                    return SolverResult.UNKNOWN, None
+            model = {var.name: refined[var.name][0] for var in variables}
+            return SolverResult.SAT, model
+        return None
+
+    def _definitely_false(
+        self, variables: Sequence[SymVar], intervals: Dict[str, _Interval]
+    ) -> Tuple[SolverResult, Optional[Dict[str, int]]]:
+        """No witness exists: mirror the default backend's exhaustiveness
+        rule (computed over the *original* narrowed intervals, the box it
+        would have enumerated) for the UNSAT/UNKNOWN split."""
+        self.stats.fastpath_answers += 1
+        if self._enumeration_was_exhaustive(variables, intervals):
+            return SolverResult.UNSAT, None
+        self.stats.unknown_answers += 1
+        return SolverResult.UNKNOWN, None
+
+
+_NEGATED_OP = {
+    Op.LT: Op.GE,
+    Op.LE: Op.GT,
+    Op.GT: Op.LE,
+    Op.GE: Op.LT,
+    Op.EQ: Op.NE,
+    Op.NE: Op.EQ,
+}
+_FLIPPED_OP = {
+    Op.LT: Op.GT,
+    Op.LE: Op.GE,
+    Op.GT: Op.LT,
+    Op.GE: Op.LE,
+    Op.EQ: Op.EQ,
+    Op.NE: Op.NE,
+}
+
+
+def _refine_bounds(value: Value, positive: bool, box: Box) -> bool:
+    """Intersect ``box`` with the bounds implied by ``value`` being true
+    (``positive``) or false.
+
+    Returns False when a variable's interval empties -- since only *implied*
+    bounds are applied (every satisfying assignment keeps every variable
+    inside the refined box), an empty interval proves the constraint set
+    unsatisfiable.  Unrecognized shapes refine nothing, which is always
+    sound.  Constraint truth is integer truthiness (``value != 0``, the
+    enumerator's satisfaction test), so ``(inner != 0)``/``(inner == 0)``
+    wrappers recurse into ``inner`` with the matching polarity, as do
+    ``NOT``, positive ``AND`` and negated ``OR``.
+    """
+    if isinstance(value, UnExpr) and value.op is Op.NOT:
+        return _refine_bounds(value.operand, not positive, box)
+    if not isinstance(value, BinExpr):
+        return True
+    op = value.op
+    left, right = value.left, value.right
+    if op in (Op.NE, Op.EQ):
+        # Truthiness wrapper: (inner != 0) asserts inner, (inner == 0)
+        # denies it.  Bare ``var != 0`` is left to the comparison handling.
+        for inner, other in ((left, right), (right, left)):
+            if (
+                isinstance(inner, SymExpr)
+                and not isinstance(inner, SymVar)
+                and not isinstance(other, SymExpr)
+                and int(other) == 0
+            ):
+                return _refine_bounds(
+                    inner, positive if op is Op.NE else not positive, box
+                )
+    if op is Op.AND and positive:
+        return _refine_bounds(left, True, box) and _refine_bounds(right, True, box)
+    if op is Op.OR and not positive:
+        return _refine_bounds(left, False, box) and _refine_bounds(right, False, box)
+    if op not in _NEGATED_OP:
+        return True
+    if isinstance(left, SymVar) and not isinstance(right, SymExpr):
+        name, cmp_op, const = left.name, op, int(right)
+    elif isinstance(right, SymVar) and not isinstance(left, SymExpr):
+        name, cmp_op, const = right.name, _FLIPPED_OP[op], int(left)
+    else:
+        return True
+    if not positive:
+        cmp_op = _NEGATED_OP[cmp_op]
+    if name not in box:
+        return True
+    lo, hi = box[name]
+    if cmp_op is Op.LT:
+        hi = min(hi, const - 1)
+    elif cmp_op is Op.LE:
+        hi = min(hi, const)
+    elif cmp_op is Op.GT:
+        lo = max(lo, const + 1)
+    elif cmp_op is Op.GE:
+        lo = max(lo, const)
+    elif cmp_op is Op.EQ:
+        lo, hi = max(lo, const), min(hi, const)
+    else:  # NE prunes only a boundary point
+        if lo == hi == const:
+            return False
+        if lo == const:
+            lo += 1
+        elif hi == const:
+            hi -= 1
+    box[name] = (lo, hi)
+    return lo <= hi
+
+
+def interval_eval(value: Value, box: Box) -> Optional[Interval]:
+    """Conservative interval evaluation of ``value`` over ``box``.
+
+    Returns an inclusive ``(lo, hi)`` bound on the values the expression can
+    take when each variable ranges over its box interval, or ``None`` when
+    the operator has no interval semantics here (division, modulo, bitwise
+    and shift operators are deliberately left undecided).  Soundness
+    contract: the true value of the expression under *any* assignment drawn
+    from the box always lies within the returned bound.
+    """
+    if not isinstance(value, SymExpr):
+        concrete = int(value)
+        return concrete, concrete
+    if isinstance(value, SymVar):
+        bounds = box.get(value.name)
+        if bounds is None:
+            # Unconstrained variable: its declared domain is the bound.
+            return value.lo, value.hi
+        return bounds
+    if isinstance(value, UnExpr):
+        operand = interval_eval(value.operand, box)
+        if operand is None:
+            return None
+        lo, hi = operand
+        if value.op is Op.NEG:
+            return -hi, -lo
+        if value.op is Op.NOT:
+            if lo > 0 or hi < 0:
+                return 0, 0
+            if lo == 0 and hi == 0:
+                return 1, 1
+            return 0, 1
+        return None
+    if isinstance(value, IteExpr):
+        cond = interval_eval(value.cond, box)
+        if cond is None:
+            return None
+        then_bounds = interval_eval(value.then_value, box)
+        else_bounds = interval_eval(value.else_value, box)
+        lo, hi = cond
+        if lo > 0 or hi < 0:
+            return then_bounds
+        if lo == 0 and hi == 0:
+            return else_bounds
+        if then_bounds is None or else_bounds is None:
+            return None
+        return (
+            min(then_bounds[0], else_bounds[0]),
+            max(then_bounds[1], else_bounds[1]),
+        )
+    if isinstance(value, BinExpr):
+        left = interval_eval(value.left, box)
+        right = interval_eval(value.right, box)
+        if left is None or right is None:
+            return None
+        return _combine_intervals(value.op, left, right)
+    return None
+
+
+def _combine_intervals(op: Op, left: Interval, right: Interval) -> Optional[Interval]:
+    ll, lh = left
+    rl, rh = right
+    if op is Op.ADD:
+        return ll + rl, lh + rh
+    if op is Op.SUB:
+        return ll - rh, lh - rl
+    if op is Op.MUL:
+        products = (ll * rl, ll * rh, lh * rl, lh * rh)
+        return min(products), max(products)
+    if op is Op.MIN:
+        return min(ll, rl), min(lh, rh)
+    if op is Op.MAX:
+        return max(ll, rl), max(lh, rh)
+    if op is Op.LT:
+        return _three_way(lh < rl, ll >= rh)
+    if op is Op.LE:
+        return _three_way(lh <= rl, ll > rh)
+    if op is Op.GT:
+        return _three_way(ll > rh, lh <= rl)
+    if op is Op.GE:
+        return _three_way(ll >= rh, lh < rl)
+    if op is Op.EQ:
+        if lh < rl or ll > rh:
+            return 0, 0
+        if ll == lh == rl == rh:
+            return 1, 1
+        return 0, 1
+    if op is Op.NE:
+        if lh < rl or ll > rh:
+            return 1, 1
+        if ll == lh == rl == rh:
+            return 0, 0
+        return 0, 1
+    if op is Op.AND:
+        left_true, left_false = _truthiness(left)
+        right_true, right_false = _truthiness(right)
+        if left_true and right_true:
+            return 1, 1
+        if left_false or right_false:
+            return 0, 0
+        return 0, 1
+    if op is Op.OR:
+        left_true, left_false = _truthiness(left)
+        right_true, right_false = _truthiness(right)
+        if left_true or right_true:
+            return 1, 1
+        if left_false and right_false:
+            return 0, 0
+        return 0, 1
+    # DIV/MOD/BAND/BOR/BXOR/SHL/SHR: no interval semantics here.
+    return None
+
+
+def _three_way(definitely_true: bool, definitely_false: bool) -> Interval:
+    if definitely_true:
+        return 1, 1
+    if definitely_false:
+        return 0, 0
+    return 0, 1
+
+
+def _truthiness(bounds: Interval) -> Tuple[bool, bool]:
+    """(definitely nonzero, definitely zero) of an interval."""
+    lo, hi = bounds
+    return (lo > 0 or hi < 0), (lo == 0 and hi == 0)
+
+
+class PortfolioSolverFactory(SolverFactory):
+    """Interval-propagation/early-prune backend with enumeration fallback."""
+
+    name = "portfolio"
+    solver_class = PortfolioSolver
+
+
+# ------------------------------------------------------------------ registry
+
+
+_FACTORIES: Dict[str, SolverFactory] = {}
+
+
+def register_solver_factory(factory: SolverFactory) -> SolverFactory:
+    """Add (or replace) a backend under ``factory.name``; returns it."""
+    _FACTORIES[factory.name] = factory
+    return factory
+
+
+register_solver_factory(DefaultSolverFactory())
+register_solver_factory(PortfolioSolverFactory())
+
+#: built-in backend names, in registration order (CLI ``--solver`` choices)
+SOLVER_BACKENDS = tuple(_FACTORIES)
+
+
+def solver_backends() -> Tuple[str, ...]:
+    """Every registered backend name, including late registrations."""
+    return tuple(_FACTORIES)
+
+
+def get_solver_factory(name: str) -> SolverFactory:
+    """Look a backend up by name; unknown names fail loudly with choices."""
+    try:
+        return _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver backend {name!r}; "
+            f"expected one of {', '.join(_FACTORIES)}"
+        ) from None
+
+
+def create_solver(
+    config=None,
+    *,
+    backend: Optional[str] = None,
+    max_assignments: int = 200_000,
+    enable_cache: Optional[bool] = None,
+    shared_cache: Optional[WorkerSolverCache] = None,
+    event_sink: Optional[Callable[[Dict], None]] = None,
+) -> Solver:
+    """Build a solver for a :class:`~repro.core.config.PortendConfig`.
+
+    ``backend`` overrides the config's ``solver_backend``; with neither, the
+    default backend is used.
+    """
+    name = backend or (getattr(config, "solver_backend", None) or "default")
+    return get_solver_factory(name).create(
+        max_assignments=max_assignments,
+        enable_cache=enable_cache,
+        shared_cache=shared_cache,
+        event_sink=event_sink,
+    )

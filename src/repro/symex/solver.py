@@ -50,8 +50,9 @@ from __future__ import annotations
 
 import enum
 import itertools
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.symex.expr import (
     BinExpr,
@@ -91,6 +92,11 @@ class SolverStats:
     #: the subset of ``cache_hits`` served from an entry written by an
     #: earlier solver of the same process (worker-lifetime cache sharing)
     worker_cache_hits: int = 0
+    #: queries a backend answered without enumerating (e.g. the portfolio
+    #: backend's interval-propagation fast path)
+    fastpath_answers: int = 0
+    #: wall-clock seconds spent inside solver queries
+    seconds: float = 0.0
 
     def reset(self) -> None:
         self.queries = 0
@@ -100,6 +106,8 @@ class SolverStats:
         self.cache_hits = 0
         self.cache_misses = 0
         self.worker_cache_hits = 0
+        self.fastpath_answers = 0
+        self.seconds = 0.0
 
     def to_dict(self) -> Dict[str, int]:
         """JSON-clean snapshot (travels back from engine worker tasks)."""
@@ -111,6 +119,8 @@ class SolverStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "worker_cache_hits": self.worker_cache_hits,
+            "fastpath_answers": self.fastpath_answers,
+            "seconds": self.seconds,
         }
 
 
@@ -203,6 +213,10 @@ _RANGE_MISS = object()
 class Solver:
     """Complete-on-bounded-domains satisfiability and model generation."""
 
+    #: backend name reported in solver events and stats snapshots; alternative
+    #: backends (see :mod:`repro.symex.factory`) override this class attribute
+    backend = "default"
+
     #: entries per memo before it is cleared (per-solver, so effectively
     #: per-exploration; clearing only costs future hits)
     CACHE_LIMIT = 65_536
@@ -212,9 +226,14 @@ class Solver:
         max_assignments: int = 200_000,
         enable_cache: Optional[bool] = None,
         shared_cache: Optional[WorkerSolverCache] = None,
+        event_sink: Optional[Callable[[Dict], None]] = None,
     ) -> None:
         self.max_assignments = max_assignments
         self.stats = SolverStats()
+        #: optional per-query event sink (a callable fed JSON-clean dicts);
+        #: the engine's worker tasks attach their event buffer here so every
+        #: query lands in the structured event stream as a ``solver_query``
+        self.event_sink = event_sink
         self.enable_cache = (
             CACHE_ENABLED_DEFAULT if enable_cache is None else bool(enable_cache)
         )
@@ -236,6 +255,7 @@ class Solver:
     def check(self, constraints: Sequence[Value]) -> Tuple[SolverResult, Optional[Dict[str, int]]]:
         """Return a (verdict, model) pair for the conjunction of constraints."""
         self.stats.queries += 1
+        started = time.perf_counter()
         key: Optional[frozenset] = None
         if self.enable_cache:
             key = frozenset(constraints)
@@ -243,8 +263,10 @@ class Solver:
             if cached is not None:
                 self.stats.cache_hits += 1
                 owner, verdict, model = cached
-                if owner != self._cache_owner:
+                worker_hit = owner != self._cache_owner
+                if worker_hit:
                     self.stats.worker_cache_hits += 1
+                self._finish_query(verdict.value, True, worker_hit, started)
                 # Hand out a copy: callers may mutate the model dict.
                 return verdict, (dict(model) if model is not None else None)
             self.stats.cache_misses += 1
@@ -257,7 +279,26 @@ class Solver:
                 verdict,
                 dict(model) if model is not None else None,
             )
+        self._finish_query(verdict.value, False, False, started)
         return verdict, model
+
+    def _finish_query(
+        self, result: str, cached: bool, worker_hit: bool, started: float
+    ) -> None:
+        """Account one query's wall time and emit its ``solver_query`` event."""
+        elapsed = time.perf_counter() - started
+        self.stats.seconds += elapsed
+        if self.event_sink is not None:
+            self.event_sink(
+                {
+                    "kind": "solver_query",
+                    "backend": self.backend,
+                    "result": result,
+                    "cached": cached,
+                    "worker_hit": worker_hit,
+                    "seconds": elapsed,
+                }
+            )
 
     def _check_uncached(
         self, constraints: Sequence[Value]
@@ -280,8 +321,22 @@ class Solver:
         intervals = self._narrow_intervals(simplified, variables)
         if intervals is None:
             return SolverResult.UNSAT, None
+        return self._solve_narrowed(simplified, variables, intervals)
 
-        model = self._enumerate(simplified, variables, intervals)
+    def _solve_narrowed(
+        self,
+        constraints: Sequence[Value],
+        variables: Sequence[SymVar],
+        intervals: Dict[str, "_Interval"],
+    ) -> Tuple[SolverResult, Optional[Dict[str, int]]]:
+        """Decide a simplified, interval-narrowed constraint set.
+
+        The seam alternative backends override: the default enumerates the
+        narrowed cross product; the portfolio backend first tries an
+        interval-propagation fast path and falls back to this enumeration
+        (see :mod:`repro.symex.factory`).
+        """
+        model = self._enumerate(constraints, variables, intervals)
         if model is not None:
             return SolverResult.SAT, model
         if self._enumeration_was_exhaustive(variables, intervals):
@@ -342,6 +397,7 @@ class Solver:
         # here keeps the ``hits + misses == queries`` invariant of the
         # cache-enabled stats.
         self.stats.queries += 1
+        started = time.perf_counter()
         key: Optional[Tuple[frozenset, Value]] = None
         if self.enable_cache:
             key = (frozenset(constraints), expr)
@@ -349,8 +405,10 @@ class Solver:
             if cached is not _RANGE_MISS:
                 self.stats.cache_hits += 1
                 owner, result = cached
-                if owner != self._cache_owner:
+                worker_hit = owner != self._cache_owner
+                if worker_hit:
                     self.stats.worker_cache_hits += 1
+                self._finish_query("range", True, worker_hit, started)
                 return result
             self.stats.cache_misses += 1
         result = self._value_range_uncached(constraints, expr)
@@ -358,6 +416,7 @@ class Solver:
             if len(self._range_cache) >= self.CACHE_LIMIT:
                 self._range_cache.clear()
             self._range_cache[key] = (self._cache_owner, result)
+        self._finish_query("range", False, False, started)
         return result
 
     def _value_range_uncached(
