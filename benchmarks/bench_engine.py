@@ -23,7 +23,14 @@ Three A/B comparisons quantify the hot-path optimizations:
   overlap, worker-lifetime solver caches) vs the legacy barrier engine on
   ``stress_deep`` (wall time, pool constructions, plan→path overlap
   seconds, worker-cache hit rate; streaming must build exactly one pool,
-  measure overlap > 0, hit the worker cache, and not lose to barrier).
+  measure overlap > 0, hit the worker cache, and not lose to barrier), and
+* **full stream** -- the run-wide scheduler (record, classify, plan and
+  path futures in one ``wait`` loop) vs the ``staged`` record-barrier
+  engine it replaced, on a *skewed* mixed batch (``stress_harmful`` +
+  ``SQLite`` + ``stress_deep``): the slow recording anchors the staged
+  barrier while the fast workloads' classifications could already run.
+  Full stream must keep verdicts bit-identical to serial, measure
+  record↔classify overlap > 0, and not lose to staged.
 
 Classifications are verified bit-identical across all modes.  Running the
 file directly emits a JSON artifact (``bench_engine.json``) with every
@@ -122,6 +129,7 @@ def run_comparison(names=None):
     outcome["path_mode"] = run_path_mode_comparison()
     outcome["solver_cache"] = run_solver_cache_comparison()
     outcome["dispatch"] = run_dispatch_comparison()
+    outcome["full_stream"] = run_full_stream_comparison()
     outcome["solver_backends"] = run_solver_backend_comparison()
     outcome["events"] = run_events_check()
     return outcome
@@ -260,6 +268,64 @@ def run_dispatch_comparison(names=("stress_deep",)):
     }
 
 
+def run_full_stream_comparison(names=("stress_harmful", "SQLite", "stress_deep")):
+    """Full-stream vs staged dispatch on a skewed mixed batch.
+
+    The batch is deliberately lopsided: ``stress_harmful`` records for far
+    longer than ``SQLite``, so the staged engine's record barrier parks the
+    whole pool behind the slowest recording while the fast workloads'
+    stage-3 queues sit ready.  The full-stream scheduler starts classifying
+    ``SQLite`` the moment its recording lands -- the record↔classify overlap
+    channel measures exactly that window.  Verdicts must stay bit-identical
+    to the serial reference under both modes.
+    """
+    serial_runs = AnalysisEngine(
+        options=EngineOptions(parallel=0, granularity="race")
+    ).analyze(list(names))
+    reference = _signature(serial_runs)
+    modes = {}
+    signatures = {}
+    for label in ("staged", "streaming"):
+        # Best-of-2 wall clock, same reasoning as the dispatch gate: the
+        # margin between two pooled runs is small and must not be decided
+        # by one scheduler hiccup on a shared runner.
+        best_seconds = None
+        for _repetition in range(2):
+            GLOBAL_STATS.reset()
+            started = time.perf_counter()
+            runs = AnalysisEngine(
+                options=EngineOptions(
+                    parallel=WORKERS, granularity="auto", dispatch=label
+                )
+            ).analyze(list(names))
+            elapsed = time.perf_counter() - started
+            best_seconds = elapsed if best_seconds is None else min(best_seconds, elapsed)
+        modes[label] = {
+            "seconds": best_seconds,
+            "pools_created": GLOBAL_STATS.pools_created,
+            "pool_reuses": GLOBAL_STATS.pool_reuses,
+            "stage_overlap_seconds": GLOBAL_STATS.stage_overlap_seconds,
+            "record_classify_overlap_seconds": (
+                GLOBAL_STATS.record_classify_overlap_seconds
+            ),
+        }
+        signatures[label] = _signature(runs)
+    return {
+        "workloads": list(names),
+        "workers": WORKERS,
+        "staged": modes["staged"],
+        "streaming": modes["streaming"],
+        "identical": all(
+            signature == reference for signature in signatures.values()
+        ),
+        "speedup": (
+            modes["staged"]["seconds"] / modes["streaming"]["seconds"]
+            if modes["streaming"]["seconds"]
+            else 0.0
+        ),
+    }
+
+
 def run_path_mode_comparison(names=None):
     """Shipped-primary vs re-explore path mode, serially (stable timings)."""
     names = list(names) if names is not None else list(PATH_MODE_NAMES)
@@ -349,6 +415,7 @@ def render(outcome):
     path_mode = outcome["path_mode"]
     solver_cache = outcome["solver_cache"]
     dispatch = outcome["dispatch"]
+    full_stream = outcome["full_stream"]
     backends = outcome["solver_backends"]
     events = outcome["events"]
     lines = [
@@ -395,6 +462,17 @@ def render(outcome):
         f"{dispatch['streaming']['solver_queries']} queries)",
         f"{'streaming speedup':<26} {dispatch['speedup']:.2f}x",
         "",
+        f"Full stream ({', '.join(full_stream['workloads'])}, "
+        f"{full_stream['workers']} workers):",
+        f"{'staged (record barrier)':<26} {full_stream['staged']['seconds']:.2f}s  "
+        f"({full_stream['staged']['stage_overlap_seconds']:.2f}s plan/path overlap)",
+        f"{'full stream':<26} {full_stream['streaming']['seconds']:.2f}s  "
+        f"({full_stream['streaming']['stage_overlap_seconds']:.2f}s plan/path, "
+        f"{full_stream['streaming']['record_classify_overlap_seconds']:.2f}s "
+        f"record/classify overlap)",
+        f"{'full-stream speedup':<26} {full_stream['speedup']:.2f}x",
+        f"{'verdicts identical':<26} {full_stream['identical']}",
+        "",
         f"Solver backends ({', '.join(backends['workloads'])}):",
     ]
     for name, numbers in backends["backends"].items():
@@ -435,6 +513,7 @@ def to_artifact(outcome):
         "path_mode": outcome["path_mode"],
         "solver_cache": outcome["solver_cache"],
         "dispatch": outcome["dispatch"],
+        "full_stream": outcome["full_stream"],
         "solver_backends": outcome["solver_backends"],
         "events": outcome["events"],
     }
@@ -479,6 +558,10 @@ def verify(outcome):
     dispatch = outcome["dispatch"]
     assert dispatch["identical"]
     assert dispatch["streaming"]["worker_cache_hits"] > 0, dispatch
+    # The full-stream scheduler must stay bit-identical to serial on the
+    # skewed mixed batch whichever mode dispatched it.
+    full_stream = outcome["full_stream"]
+    assert full_stream["identical"], full_stream
     # Every solver backend must produce bit-identical verdicts, and the
     # portfolio fast path must both fire and never enumerate more than the
     # default backend does.
@@ -516,6 +599,22 @@ def verify(outcome):
         assert (
             dispatch["streaming"]["seconds"] <= 1.15 * dispatch["barrier"]["seconds"]
         ), dispatch
+        # The full-stream run-wide scheduler on the skewed batch: one
+        # persistent pool, measurable record↔classify overlap (stage 3 of
+        # the fast workloads ran while the slow recording was in flight),
+        # and no regression against the staged record-barrier engine (same
+        # noise allowance as the dispatch gate above).
+        assert full_stream["streaming"]["pools_created"] == 1, full_stream
+        assert (
+            full_stream["streaming"]["record_classify_overlap_seconds"] > 0.0
+        ), full_stream
+        assert (
+            full_stream["staged"]["record_classify_overlap_seconds"] == 0.0
+        ), full_stream
+        assert (
+            full_stream["streaming"]["seconds"]
+            <= 1.15 * full_stream["staged"]["seconds"]
+        ), full_stream
 
 
 def test_engine_serial_vs_parallel(benchmark, once):

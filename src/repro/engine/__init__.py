@@ -5,8 +5,11 @@
   with a serial fallback, a streaming plan→path scheduler and a
   deterministic per-path merge,
 * :mod:`repro.engine.dispatch` -- :class:`PoolDispatcher`, the run-lifetime
-  persistent pool (streaming mode) and the legacy per-dispatch pool
+  persistent pool (streaming/staged modes) and the legacy per-dispatch pool
   (barrier mode),
+* :mod:`repro.engine.costmodel` -- :class:`CostModel`, the online EWMA
+  task-cost estimates behind adaptive chunk sizing and
+  longest-expected-first submission,
 * :mod:`repro.engine.tasks` -- the work items (``RecordTask``,
   ``ClassificationTask``, ``PlanTask``, ``PathTask``), their picklable
   worker entry points, and the pool initializer that installs each worker's
@@ -21,6 +24,7 @@
 """
 
 from repro.engine.cache import ClassificationCache, TraceCache, collect_cache_info
+from repro.engine.costmodel import CostModel
 from repro.engine.dispatch import DISPATCH_MODES, PoolDispatcher
 from repro.engine.engine import (
     AnalysisEngine,
@@ -58,6 +62,7 @@ __all__ = [
     "EngineRun",
     "choose_granularity",
     "collect_cache_info",
+    "CostModel",
     "DISPATCH_MODES",
     "PoolDispatcher",
     "TraceCache",

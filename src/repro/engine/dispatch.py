@@ -3,28 +3,44 @@
 The engine used to build a fresh ``ProcessPoolExecutor`` inside every stage
 dispatch and block on ``pool.map`` -- a hard barrier per stage, plus one
 pool spin-up/tear-down (and one cold worker-process state) per queue.
-:class:`PoolDispatcher` replaces that with two selectable strategies:
+:class:`PoolDispatcher` replaces that with three selectable strategies:
 
-* **streaming** (the default) -- one persistent pool per engine run,
-  created lazily on the first pooled dispatch with
+* **streaming** (the default) -- one persistent pool per engine run, fed by
+  the engine's *full-stream scheduler*: records, classifications, plans and
+  paths all live in one ``wait(FIRST_COMPLETED)`` loop, so stage-3 work of
+  one workload runs while another workload is still recording (see
+  ``AnalysisEngine._stream_pipeline``).  The pool is created lazily on the
+  first pooled dispatch (or eagerly by :meth:`warm`) with
   :func:`~repro.engine.tasks.pool_worker_initializer` installed, reused by
-  every subsequent stage (both sides emit ``pool`` events into the run's
+  every subsequent dispatch (both sides emit ``pool`` events into the run's
   :class:`~repro.engine.events.EventLogger`, which fold into the
   ``pools_created``/``pool_reuses`` counters), and shut down by the engine
-  when the run finishes.  Work ships as futures -- chunked for wide
-  homogeneous queues, per-task for the plan→path scheduler -- and is
-  drained with ``as_completed``.
-* **barrier** -- the legacy strategy, kept as the A/B baseline for
-  ``benchmarks/bench_engine.py``: a fresh pool per dispatch, ``pool.map``
-  with a chunksize, full teardown afterwards.
+  when the run finishes.
+* **staged** -- the same persistent pool, but with a barrier after the
+  record stage: stage 3 only starts once every recording has landed, and
+  only the plan→path queues overlap.  This was the previous default; it is
+  kept selectable as the A/B baseline the benchmark's full-stream gate
+  compares against.
+* **barrier** -- the legacy strategy: a fresh pool per dispatch,
+  ``pool.map`` with a chunksize, full teardown afterwards.
 
-Both strategies preserve the serial fallback: payloads that cannot pickle
+Chunking is **cost-aware**: wide queues are packed by the run's
+:class:`~repro.engine.costmodel.CostModel` into chunks targeting roughly
+``target_seconds`` of estimated work each, submitted longest-expected-first,
+and every chunk's prediction is reported as a ``scheduler_decision`` event
+once the queue drains.  A cold model falls back to size-based packing that
+still guarantees at least ``min(count, workers)`` chunks -- the old
+``count // 4·workers`` heuristic could leave a short-but-skewed queue badly
+balanced across the pool.
+
+All strategies preserve the serial fallback: payloads that cannot pickle
 (custom predicate closures) or a pool that cannot spawn (restricted
 environments) downgrade the dispatch to in-process execution of the same
 task code, and :attr:`PoolDispatcher.pool_unavailable` records that it
 happened so ``auto`` granularity stops fanning out per-path work no pool
 will run.  Results are bit-identical either way -- every task is
-deterministic, and callers merge in task order, never completion order.
+deterministic, the cost model only influences batching and ordering, and
+callers merge in task order, never completion order.
 """
 
 from __future__ import annotations
@@ -34,11 +50,36 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.engine.costmodel import CostModel, payload_fingerprint
 from repro.engine.events import EventLogger
-from repro.engine.tasks import execute_payload_chunk, pool_worker_initializer
+from repro.engine.tasks import (
+    execute_noop_task,
+    execute_path_task,
+    execute_payload_chunk,
+    execute_plan_task,
+    execute_record_task,
+    execute_task,
+    pool_worker_initializer,
+)
 
 #: dispatch strategies (see EngineOptions.dispatch)
-DISPATCH_MODES = ("streaming", "barrier")
+DISPATCH_MODES = ("streaming", "staged", "barrier")
+
+#: strategies that keep one persistent pool for the whole run
+_PERSISTENT_MODES = ("streaming", "staged")
+
+#: cost-model task kind per worker entry point (anything else is "task")
+_WORKER_KINDS = {
+    execute_record_task: "record",
+    execute_task: "classify",
+    execute_plan_task: "plan",
+    execute_path_task: "path",
+}
+
+
+def worker_kind(worker: Callable) -> str:
+    """The cost-model bucket for one worker entry point."""
+    return _WORKER_KINDS.get(worker, "task")
 
 
 class PoolDispatcher:
@@ -49,6 +90,7 @@ class PoolDispatcher:
         workers: Optional[int],
         mode: str = "streaming",
         events: Optional[EventLogger] = None,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         if mode not in DISPATCH_MODES:
             raise ValueError(
@@ -60,6 +102,10 @@ class PoolDispatcher:
         #: pool-lifecycle events land here (the engine passes its run logger;
         #: a standalone dispatcher gets a private stream)
         self.events = events if events is not None else EventLogger()
+        #: chunk sizing and submission order (the engine passes its run
+        #: model, warm-started from the cache sidecar; a standalone
+        #: dispatcher learns cold within the run)
+        self.cost_model = cost_model if cost_model is not None else CostModel()
         #: a dispatch had to fall back to serial execution (advisory; the
         #: engine's "auto" granularity reads it)
         self.pool_unavailable = False
@@ -74,14 +120,14 @@ class PoolDispatcher:
         return self.workers > 1
 
     def acquire(self) -> Optional[ProcessPoolExecutor]:
-        """The run's persistent pool (streaming mode), or None serially.
+        """The run's persistent pool (streaming/staged mode), or None serially.
 
         Created once per run on first use; every later acquisition reuses it
         and counts a ``pool reuse``.  Callers that see the returned pool
         raise :class:`BrokenProcessPool`/``OSError`` must report it via
         :meth:`mark_broken` and fall back to serial execution.
         """
-        if self.mode != "streaming" or not self.parallel or self._broken:
+        if self.mode not in _PERSISTENT_MODES or not self.parallel or self._broken:
             return None
         if self._pool is None:
             try:
@@ -105,6 +151,27 @@ class PoolDispatcher:
             return None
         return self.acquire()
 
+    def warm(self) -> None:
+        """Eagerly build the persistent pool and spin up its workers.
+
+        Called when a run starts: submits one no-op task per worker slot
+        (``ProcessPoolExecutor`` forks processes on demand, so an idle
+        freshly-built pool has zero workers) and returns without waiting, so
+        process spin-up and each worker's initializer run concurrently with
+        the driver's cache probes instead of inside the first real task's
+        measured latency.  Counts as the run's single ``pool created``
+        event; subsequent dispatches reuse the warm pool and count
+        ``pool reuse`` exactly as before.
+        """
+        pool = self.acquire()
+        if pool is None:
+            return
+        try:
+            for _ in range(self.workers):
+                pool.submit(execute_noop_task, {})
+        except (BrokenProcessPool, OSError, RuntimeError):
+            self.mark_broken()
+
     def mark_broken(self) -> None:
         """A pooled dispatch failed: downgrade the rest of the run to serial."""
         self.pool_unavailable = True
@@ -124,7 +191,7 @@ class PoolDispatcher:
         if not payloads:
             return []
         if self.parallel and len(payloads) > 1:
-            if self.mode == "streaming":
+            if self.mode in _PERSISTENT_MODES:
                 pool = self.acquire_for(payloads)
                 if pool is not None:
                     try:
@@ -138,30 +205,65 @@ class PoolDispatcher:
                     self.pool_unavailable = True
             else:
                 self.pool_unavailable = True
-        return [worker(payload) for payload in payloads]
-
-    def _chunk_size(self, count: int) -> int:
-        return max(1, count // (self.workers * 4))
+        # Serial fallback: run the same task code in-process -- and still
+        # feed the cost model, so a serial (or cold-pool) run warms the
+        # sidecar that later parallel runs schedule from.
+        kind = worker_kind(worker)
+        outputs = []
+        for payload in payloads:
+            output = worker(payload)
+            self.cost_model.observe_output(kind, payload_fingerprint(payload), output)
+            outputs.append(output)
+        return outputs
 
     def _map_streaming(
         self, pool: ProcessPoolExecutor, payloads: Sequence[Dict], worker: Callable
     ) -> List[Dict]:
-        """Chunked futures on the persistent pool, drained as they complete."""
-        chunk = self._chunk_size(len(payloads))
+        """Cost-packed futures on the persistent pool, longest-first.
+
+        The cost model plans the queue into chunks of roughly
+        ``target_seconds`` of estimated work, ordered longest-expected-first
+        so stragglers start early; each drained chunk's measured latency is
+        folded back into the model and reported as a ``scheduler_decision``
+        event after the drain (never during it -- completion order must not
+        leak into the event stream).
+        """
+        kind = worker_kind(worker)
+        chunks = self.cost_model.pack_chunks(kind, payloads, self.workers)
         futures = {
-            pool.submit(execute_payload_chunk, worker, list(payloads[start : start + chunk])): position
-            for position, start in enumerate(range(0, len(payloads), chunk))
+            pool.submit(
+                execute_payload_chunk, worker, [payloads[i] for i in indices]
+            ): position
+            for position, (indices, _estimate) in enumerate(chunks)
         }
-        chunks: List[Optional[List[Dict]]] = [None] * len(futures)
+        outputs: List[Optional[Dict]] = [None] * len(payloads)
+        actuals = [0.0] * len(chunks)
         for future in as_completed(futures):
-            chunks[futures[future]] = future.result()
-        return [output for chunk_outputs in chunks for output in chunk_outputs]
+            position = futures[future]
+            indices, _estimate = chunks[position]
+            for index, output in zip(indices, future.result()):
+                outputs[index] = output
+                seconds = self.cost_model.observe_output(
+                    kind, payload_fingerprint(payloads[index]), output
+                )
+                if seconds:
+                    actuals[position] += seconds
+        for (indices, estimate), actual in zip(chunks, actuals):
+            self.events.emit(
+                "scheduler_decision",
+                stage=kind,
+                chunk_size=len(indices),
+                estimated_seconds=estimate,
+                actual_seconds=actual,
+            )
+        return outputs
 
     def _map_barrier(self, payloads: Sequence[Dict], worker: Callable) -> List[Dict]:
         """The legacy strategy: fresh pool, blocking map, teardown."""
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             self.events.emit("pool", action="created")
-            return list(pool.map(worker, payloads, chunksize=self._chunk_size(len(payloads))))
+            chunksize = max(1, len(payloads) // (self.workers * 4))
+            return list(pool.map(worker, payloads, chunksize=chunksize))
 
 
 def payloads_picklable(payloads: Sequence[Dict]) -> bool:

@@ -25,11 +25,17 @@ independent explorations.  The engine exploits all three levels:
 
 Dispatch is futures-based and **streaming** by default: one persistent
 process pool serves the whole batch run (``EngineOptions.dispatch``;
-see :mod:`repro.engine.dispatch`), and at path granularity a scheduler
-loop submits a race's :class:`~repro.engine.tasks.PathTask` futures the
-moment its :class:`~repro.engine.tasks.PlanTask` future completes, so
-plans and paths of different races interleave in flight instead of
-barriering between queues.
+see :mod:`repro.engine.dispatch`), driven by a *run-wide scheduler*
+(:meth:`AnalysisEngine._stream_pipeline`) in which record, classify, plan
+and path futures all share one ``wait(FIRST_COMPLETED)`` loop: a landed
+recording immediately submits its workload's stage-3 work, and a landed
+plan immediately fans out its :class:`~repro.engine.tasks.PathTask`
+chunks, so stage 3 of one workload overlaps stage 1 of the next and the
+pool never idles at a stage boundary.  Chunk sizes and submission order
+come from an online cost model (:mod:`repro.engine.costmodel`).  The
+``staged`` dispatch mode keeps the record-stage barrier (the previous
+default, retained as the benchmark's A/B baseline), and ``barrier`` is
+the legacy fresh-pool-per-stage strategy.
 
 Determinism: every random decision during classification derives from
 ``PortendConfig.race_seed(race_id, path_index)``, and partial results are
@@ -46,8 +52,8 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.categories import ClassifiedRace
 from repro.core.classifier import (
@@ -58,6 +64,7 @@ from repro.core.classifier import (
 from repro.core.config import PortendConfig
 from repro.core.multi_path import PathVerdict, merge_path_verdicts
 from repro.engine.cache import ClassificationCache, TraceCache
+from repro.engine.costmodel import CostModel
 from repro.engine.dispatch import DISPATCH_MODES, PoolDispatcher, picklable
 from repro.engine.events import EventLogger, write_events
 from repro.engine.stats import GLOBAL_STATS, EngineStats
@@ -67,6 +74,7 @@ from repro.engine.tasks import (
     PlanTask,
     RecordTask,
     execute_path_task,
+    execute_payload_chunk,
     execute_plan_task,
     execute_record_task,
     execute_task,
@@ -83,12 +91,43 @@ GRANULARITIES = ("auto", "race", "path")
 _TRACE_TOKENS = itertools.count()
 
 
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name, "").strip()
+    if not value:
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        return default
+
+
+def _default_parallel() -> int:
+    return _env_int("REPRO_PARALLEL", 0)
+
+
+def _default_dispatch() -> str:
+    return os.environ.get("REPRO_DISPATCH", "").strip() or "streaming"
+
+
+def _default_chunk_target_ms() -> int:
+    return _env_int("REPRO_CHUNK_TARGET_MS", 500)
+
+
 @dataclass(frozen=True)
 class EngineOptions:
-    """Batch-level knobs, orthogonal to the per-race :class:`PortendConfig`."""
+    """Batch-level knobs, orthogonal to the per-race :class:`PortendConfig`.
+
+    ``parallel``, ``dispatch`` and ``chunk_target_ms`` read their defaults
+    from the ``REPRO_PARALLEL``/``REPRO_DISPATCH``/``REPRO_CHUNK_TARGET_MS``
+    environment variables (mirroring ``REPRO_SOLVER`` for the solver
+    backend), so whole test suites can run under the full-stream scheduler
+    with multiple workers without touching each call site -- the CI
+    full-stream job sets ``REPRO_PARALLEL=2``.  Explicit constructor
+    arguments always win over the environment.
+    """
 
     #: worker processes for the pipeline queues; 0 or 1 means serial
-    parallel: int = 0
+    parallel: int = field(default_factory=_default_parallel)
     #: directory for the on-disk trace + classification caches; None disables
     cache_dir: Optional[str] = None
     #: also enable each workload's "what-if" semantic predicates
@@ -106,10 +145,18 @@ class EngineOptions:
     #: on-disk entry bound for each cache layer (LRU-evicted beyond it);
     #: None means unbounded
     cache_max_entries: Optional[int] = None
-    #: pool dispatch strategy: "streaming" keeps one persistent pool for the
-    #: whole run and overlaps the plan and path queues; "barrier" is the
-    #: legacy fresh-pool-per-stage behaviour, kept for A/B measurement
-    dispatch: str = "streaming"
+    #: pool dispatch strategy: "streaming" (the default) keeps one
+    #: persistent pool for the whole run and schedules *every* stage --
+    #: record, classify, plan, path -- in one run-wide futures loop, so
+    #: classification of one workload overlaps the recording of the next;
+    #: "staged" is the same persistent pool with a barrier after the record
+    #: stage (only plan→path overlap), kept as the A/B baseline; "barrier"
+    #: is the legacy fresh-pool-per-stage behaviour
+    dispatch: str = field(default_factory=_default_dispatch)
+    #: the cost-aware scheduler's per-chunk wall-clock target, in
+    #: milliseconds: chunks are sized so each runs for roughly this long
+    #: (see :mod:`repro.engine.costmodel`)
+    chunk_target_ms: int = field(default_factory=_default_chunk_target_ms)
     #: append the run's structured event stream to this JSON-lines file when
     #: set (see :mod:`repro.engine.events`); None disables the write -- the
     #: events are still collected and folded into the run's stats either way
@@ -187,11 +234,25 @@ class AnalysisEngine:
         #: the previous run's folded stats view / event snapshot
         self.last_run_stats: Optional[EngineStats] = None
         self.last_run_events: List[Dict] = []
+        #: the run's online cost model: chunk sizing + submission order,
+        #: warm-started from (and persisted to) a sidecar next to the
+        #: on-disk caches when a cache directory is configured
+        self.cost_model = CostModel(
+            target_seconds=self.options.chunk_target_ms / 1000.0,
+            sidecar_path=(
+                os.path.join(self.options.cache_dir, "costmodel.json")
+                if self.options.cache_dir
+                else None
+            ),
+        )
         #: owns the run's persistent pool and the serial fallback (validates
         #: options.dispatch against DISPATCH_MODES); pool-lifecycle events
         #: land on the engine's logger
         self._dispatcher = PoolDispatcher(
-            self.options.parallel, self.options.dispatch, self.events
+            self.options.parallel,
+            self.options.dispatch,
+            self.events,
+            cost_model=self.cost_model,
         )
         self.cache = (
             TraceCache(self.options.cache_dir, max_entries=self.options.cache_max_entries)
@@ -241,6 +302,9 @@ class AnalysisEngine:
         GLOBAL_STATS.merge(self.last_run_stats)
         if self.options.events_path:
             write_events(self.last_run_events, self.options.events_path)
+        # Persist the learned cost table so the next run schedules well from
+        # its first task (best-effort, no-op without a cache directory).
+        self.cost_model.save()
         return self.last_run_stats
 
     # --------------------------------------------------------------- recording
@@ -266,9 +330,12 @@ class AnalysisEngine:
         indices: List[int] = []
         fingerprints: Dict[int, str] = {}
         for index, workload in enumerate(workloads):
+            # Hashed for every workload (not just cached runs): the
+            # fingerprint keys the classification/solver caches *and* the
+            # cost model's per-workload latency estimates.
+            fingerprint = TraceCache.program_fingerprint(workload.program)
+            fingerprints[index] = fingerprint
             if self.cache is not None:
-                fingerprint = self.cache.program_fingerprint(workload.program)
-                fingerprints[index] = fingerprint
                 cached = self.cache.load(
                     workload.name, workload.inputs, self.config, fingerprint
                 )
@@ -286,6 +353,7 @@ class AnalysisEngine:
                     # Attach the actual program: the batch may contain
                     # what-if variants that differ from the registry build.
                     program=workload.program,
+                    program_fingerprint=fingerprint,
                 ).to_payload()
             )
             indices.append(index)
@@ -323,28 +391,454 @@ class AnalysisEngine:
         return self.analyze_workloads(workloads)
 
     def analyze_workloads(self, workloads: Sequence[Workload]) -> List[EngineRun]:
-        """Record every workload, then classify all races as staged queues.
+        """Analyze every workload: record, detect, classify -- one scheduler.
 
-        One batch run: the dispatcher's persistent pool (streaming mode) is
-        created lazily by the first pooled dispatch, reused by every later
-        stage, and torn down when the run finishes.  The driving process's
-        worker-lifetime solver caches start fresh per run (pool workers get
-        the same via the pool initializer), so runs cannot observe each
-        other's warm state; likewise the event stream is per-run, folded
-        into a stats view when the run finishes (``run.stats`` /
-        ``engine.last_run_stats``) and merged into the ``GLOBAL_STATS``
-        compatibility aggregate.
+        One batch run: the dispatcher's persistent pool (streaming/staged
+        mode) is warmed eagerly when the run starts, reused by every
+        dispatch, and torn down when the run finishes.  Under the default
+        ``streaming`` dispatch the whole pipeline runs in a single run-wide
+        futures loop (:meth:`_stream_pipeline`): a workload's classification
+        work is submitted the moment its recording lands, so stage 3 of one
+        workload overlaps stage 1 of the next.  ``staged`` keeps the
+        record-stage barrier (the previous default, the A/B baseline), and
+        any full-stream fallback -- no pool, unpicklable record payloads, a
+        pool that dies mid-run -- lands on the same staged path.
+
+        The driving process's worker-lifetime solver caches start fresh per
+        run (pool workers get the same via the pool initializer), so runs
+        cannot observe each other's warm state; likewise the event stream is
+        per-run, folded into a stats view when the run finishes
+        (``run.stats`` / ``engine.last_run_stats``) and merged into the
+        ``GLOBAL_STATS`` compatibility aggregate.
         """
         self._begin_run(workloads)
         try:
-            recordings = self._record_stage(workloads)
-            runs = self._classification_stage(recordings)
+            # Eager warm-up: pool construction + worker spin-up overlap the
+            # cache probes below instead of delaying the first real task.
+            self._dispatcher.warm()
+            runs = None
+            if self.options.dispatch == "streaming" and self._dispatcher.parallel:
+                runs = self._stream_pipeline(workloads)
+            if runs is None:
+                recordings = self._record_stage(workloads)
+                runs = self._classification_stage(recordings)
         finally:
             self._dispatcher.shutdown()
             stats = self._finish_run()
         for run in runs:
             run.stats = stats
         return runs
+
+    # ------------------------------------------------------------ full stream
+
+    def _workload_granularity(self, distinct_races: int) -> str:
+        """The per-workload stage-3 grain under the full-stream scheduler.
+
+        Same decision `_partition_misses` makes on the staged path, minus
+        the ``pool_unavailable`` downgrade -- the full-stream scheduler only
+        runs while the pool is alive.
+        """
+        if self.options.granularity != "auto":
+            return self.options.granularity
+        return choose_granularity(distinct_races, self.options.parallel or 0)
+
+    def _stream_pipeline(self, workloads: Sequence[Workload]) -> Optional[List[EngineRun]]:
+        """The run-wide scheduler: record, classify, plan and path futures in
+        one ``wait(FIRST_COMPLETED)`` loop.
+
+        Stage 1 and stage 3 overlap across workloads: the moment a
+        RecordTask future lands, its workload's classification work (cache
+        probes, then ClassificationTask chunks or PlanTask futures) is
+        submitted onto the same pool, and each finished PlanTask immediately
+        fans out its PathTask chunks -- so classification of workload A runs
+        while workload B is still recording.  Chunk sizes and submission
+        order come from the run's :class:`~repro.engine.costmodel.CostModel`.
+
+        Returns None when full-stream cannot run (no record work, no usable
+        pool, or the pool died mid-drain): the caller falls back to the
+        staged path, which re-runs from scratch.  Nothing is emitted into
+        the event stream until the drain fully succeeds, and the replay
+        below walks workloads in batch order (path partials sorted by path
+        index), so the merged stream is structurally bit-identical across
+        completion interleavings -- and verdicts are bit-identical to the
+        serial engine because every task is deterministic and the merge
+        consumes results keyed by ``(index, race_id, path_index)`` in path
+        order, never in completion order.
+        """
+        config_data = self.config.to_dict()
+        count = len(workloads)
+        fingerprints = [
+            TraceCache.program_fingerprint(workload.program) for workload in workloads
+        ]
+        # Acquire the pool *before* probing any cache: a fallback decision
+        # made here costs nothing, whereas bailing after the probes would
+        # make the staged path re-probe and double-count every cache hit.
+        record_payloads: Dict[int, Dict] = {
+            index: RecordTask(
+                workload=workload.name,
+                inputs=dict(workload.inputs),
+                config=config_data,
+                program=workload.program,
+                program_fingerprint=fingerprints[index],
+            ).to_payload()
+            for index, workload in enumerate(workloads)
+        }
+        pool = self._dispatcher.acquire_for(list(record_payloads.values()))
+        if pool is None:
+            return None
+        recordings: List[Optional[_Recording]] = [None] * count
+        #: per-workload trace-cache probe result; None = cache disabled
+        trace_hits: List[Optional[bool]] = [None] * count
+        if self.cache is not None:
+            for index, workload in enumerate(workloads):
+                cached = self.cache.load(
+                    workload.name, workload.inputs, self.config, fingerprints[index]
+                )
+                trace_hits[index] = cached is not None
+                if cached is not None:
+                    recordings[index] = _Recording(
+                        workload, cached, 0.0, True, fingerprints[index]
+                    )
+                    del record_payloads[index]
+        try:
+            return self._stream_drain(
+                pool,
+                workloads,
+                fingerprints,
+                recordings,
+                trace_hits,
+                record_payloads,
+                config_data,
+            )
+        except (BrokenProcessPool, OSError):
+            # Pool died mid-drain: no events were emitted and nothing was
+            # merged or stored in the classification cache yet, so the
+            # staged fallback re-runs the batch from scratch (traces already
+            # recorded were stored in the trace cache and will be reloaded).
+            self._dispatcher.mark_broken()
+            return None
+
+    def _stream_drain(
+        self,
+        pool,
+        workloads,
+        fingerprints,
+        recordings,
+        trace_hits,
+        record_payloads,
+        config_data,
+    ) -> List[EngineRun]:
+        """Drive the full-stream drain loop, then replay the canonical event
+        stream and merge (see :meth:`_stream_pipeline`)."""
+        model = self.cost_model
+        workers = max(1, self.options.parallel or 1)
+        count = len(workloads)
+
+        slots: List[Dict[int, ClassifiedRace]] = [{} for _ in range(count)]
+        cached_counts: List[int] = [0] * count
+        contexts: List[Optional[Dict]] = [None] * count
+        #: per-workload classification-cache probe results, trace order
+        cls_hits: List[Set[int]] = [set() for _ in range(count)]
+        race_misses: List[List[Tuple[int, int, str]]] = [[] for _ in range(count)]
+        path_misses: List[List[Tuple[int, int, str]]] = [[] for _ in range(count)]
+        #: unpicklable workloads' misses, deferred to the in-driver serial
+        #: fallback during replay, keyed by the grain they would have used
+        serial_race: List[Tuple[int, int, str]] = []
+        serial_path: List[Tuple[int, int, str]] = []
+
+        record_outputs: Dict[int, Dict] = {}
+        race_outputs: Dict[Tuple[int, int], Dict] = {}
+        plans: Dict[Tuple[int, int], Dict] = {}
+        partials: Dict[Tuple[int, int], List[Dict]] = {}
+        decisions: List[Dict] = []
+        pending: Dict[object, Tuple[str, object]] = {}
+        in_flight = {"record": 0, "classify": 0, "plan": 0, "path": 0}
+        #: logical dispatch batches riding the already-acquired pool; the
+        #: replay emits one ``pool reused`` per batch, independent of how
+        #: many chunk futures the cost model happened to pack
+        classify_batches = 0
+        path_batches = 0
+        record_clock = _OverlapClock()
+        plan_clock = _OverlapClock()
+
+        def submit_chunks(kind, stage_misses, payloads, fingerprint, index):
+            """Submit one logical batch as cost-sized chunk futures."""
+            size = model.chunk_size(kind, fingerprint, len(payloads), workers)
+            estimate = model.estimate(kind, fingerprint)
+            worker_fn = execute_task if kind == "classify" else execute_path_task
+            for start in range(0, len(payloads), size):
+                chunk_payloads = payloads[start : start + size]
+                ref = (
+                    stage_misses[start : start + size]
+                    if kind == "classify"
+                    else stage_misses
+                )
+                future = pool.submit(execute_payload_chunk, worker_fn, chunk_payloads)
+                pending[future] = (
+                    kind,
+                    (ref, estimate * len(chunk_payloads), fingerprints[index]),
+                )
+                in_flight[kind] += 1
+
+        def open_classification(index):
+            """Probe the classification cache for one landed recording and
+            submit its stage-3 work."""
+            nonlocal classify_batches
+            recording = recordings[index]
+            workload = recording.workload
+            predicates = list(workload.predicates)
+            if self.options.use_semantic_predicates:
+                predicates += list(workload.semantic_predicates)
+            context = {
+                "predicates": tuple(predicates),
+                "program_fingerprint": fingerprints[index],
+            }
+            contexts[index] = context
+            predicate_fingerprint = ""
+            if self.classification_cache is not None:
+                predicate_fingerprint = ClassificationCache.predicate_fingerprint(
+                    predicates
+                )
+            misses: List[Tuple[int, int, str]] = []
+            for race in recording.trace.races:
+                key = ""
+                if self.classification_cache is not None:
+                    key = ClassificationCache.key(
+                        workload.name,
+                        workload.inputs,
+                        self.config,
+                        race.race_id,
+                        program_fingerprint=fingerprints[index],
+                        use_semantic_predicates=self.options.use_semantic_predicates,
+                        predicate_fingerprint=predicate_fingerprint,
+                    )
+                    cached = self.classification_cache.load(workload.name, key)
+                    if cached is not None:
+                        cached_counts[index] += 1
+                        cls_hits[index].add(race.race_id)
+                        slots[index][race.race_id] = cached
+                        continue
+                misses.append((index, race.race_id, key))
+            if not misses:
+                return
+            context["trace_data"] = recording.trace.to_dict()
+            context["trace_token"] = f"{os.getpid()}:{next(_TRACE_TOKENS)}"
+            grain = self._workload_granularity(len(recording.trace.races))
+            if not picklable(workload.program, context["predicates"]):
+                # The pool cannot run this workload's stage 3; defer it to
+                # the in-driver serial fallback during replay, at the grain
+                # the staged path would have used (auto downgrades to race).
+                if grain == "path" and self.options.granularity == "path":
+                    serial_path.extend(misses)
+                else:
+                    serial_race.extend(misses)
+                return
+            if grain == "race":
+                race_misses[index] = misses
+                payloads = [
+                    self._task_payload(
+                        ClassificationTask,
+                        recordings,
+                        contexts,
+                        config_data,
+                        miss_index,
+                        race_id,
+                    )
+                    for miss_index, race_id, _key in misses
+                ]
+                classify_batches += 1
+                submit_chunks("classify", misses, payloads, fingerprints[index], index)
+            else:
+                path_misses[index] = misses
+                for miss in misses:
+                    payload = self._task_payload(
+                        PlanTask, recordings, contexts, config_data, miss[0], miss[1]
+                    )
+                    pending[pool.submit(execute_plan_task, payload)] = ("plan", miss)
+                    in_flight["plan"] += 1
+
+        def submit_paths(index, race_id, plan):
+            nonlocal path_batches
+            payloads = list(
+                self._path_payloads(
+                    recordings, contexts, config_data, index, race_id, plan
+                )
+            )
+            if not payloads:
+                return
+            path_batches += 1
+            submit_chunks("path", (index, race_id), payloads, fingerprints[index], index)
+
+        # Submit the record queue longest-expected-first so the straggler
+        # workload starts recording before its faster siblings fill the pool.
+        record_order = sorted(
+            record_payloads,
+            key=lambda index: -model.estimate("record", fingerprints[index]),
+        )
+        for index in record_order:
+            future = pool.submit(execute_record_task, record_payloads[index])
+            pending[future] = ("record", index)
+            in_flight["record"] += 1
+        # Trace-cached workloads skip stage 1 entirely: their stage-3 work
+        # enters the scheduler immediately and overlaps the live recordings.
+        for index in range(count):
+            if recordings[index] is not None:
+                open_classification(index)
+        record_clock.update(
+            in_flight["record"],
+            in_flight["classify"] + in_flight["plan"] + in_flight["path"],
+        )
+        plan_clock.update(in_flight["plan"], in_flight["path"])
+
+        while pending:
+            done, _not_done = wait(set(pending), return_when=FIRST_COMPLETED)
+            for future in done:
+                kind, ref = pending.pop(future)
+                output = future.result()
+                if kind == "record":
+                    in_flight["record"] -= 1
+                    index = ref
+                    workload = workloads[index]
+                    trace = ExecutionTrace.from_dict(output["trace"])
+                    if self.cache is not None:
+                        self.cache.store(
+                            workload.name,
+                            workload.inputs,
+                            self.config,
+                            trace,
+                            fingerprints[index],
+                        )
+                    recordings[index] = _Recording(
+                        workload,
+                        trace,
+                        output["detection_seconds"],
+                        False,
+                        fingerprints[index],
+                    )
+                    record_outputs[index] = output
+                    model.observe_output("record", fingerprints[index], output)
+                    open_classification(index)
+                elif kind == "classify":
+                    in_flight["classify"] -= 1
+                    chunk_misses, estimate, fingerprint = ref
+                    actual = 0.0
+                    for miss, item in zip(chunk_misses, output):
+                        race_outputs[(miss[0], miss[1])] = item
+                        seconds = model.observe_output("classify", fingerprint, item)
+                        actual += seconds or 0.0
+                    decisions.append(
+                        {
+                            "stage": "classify",
+                            "chunk_size": len(chunk_misses),
+                            "estimated_seconds": estimate,
+                            "actual_seconds": actual,
+                        }
+                    )
+                elif kind == "plan":
+                    in_flight["plan"] -= 1
+                    index, race_id, _key = ref
+                    plans[(index, race_id)] = output
+                    model.observe_output("plan", fingerprints[index], output)
+                    submit_paths(index, race_id, output)
+                else:  # path chunk
+                    in_flight["path"] -= 1
+                    (index, race_id), estimate, fingerprint = ref
+                    partials.setdefault((index, race_id), []).extend(output)
+                    actual = 0.0
+                    for item in output:
+                        seconds = model.observe_output("path", fingerprint, item)
+                        actual += seconds or 0.0
+                    decisions.append(
+                        {
+                            "stage": "path",
+                            "chunk_size": len(output),
+                            "estimated_seconds": estimate,
+                            "actual_seconds": actual,
+                        }
+                    )
+                record_clock.update(
+                    in_flight["record"],
+                    in_flight["classify"] + in_flight["plan"] + in_flight["path"],
+                )
+                plan_clock.update(in_flight["plan"], in_flight["path"])
+
+        # ------------------------------------------------- canonical replay
+        # The drain succeeded; emit the run's events in batch order, exactly
+        # once, independent of the completion interleaving above.
+        for index in range(count):
+            if trace_hits[index] is not None:
+                self.events.emit("cache", tier="trace", hit=trace_hits[index])
+            if index in record_payloads:
+                self.events.emit(
+                    "task_submit", stage="record", workload=workloads[index].name
+                )
+        for index in sorted(record_outputs):
+            self.events.absorb(record_outputs[index].get("events"))
+            self.events.emit("trace_recorded", workload=workloads[index].name)
+        if self.classification_cache is not None:
+            for index in range(count):
+                for race in recordings[index].trace.races:
+                    self.events.emit(
+                        "cache",
+                        tier="classification",
+                        hit=race.race_id in cls_hits[index],
+                    )
+        for index in range(count):
+            for miss_index, race_id, _key in race_misses[index]:
+                self.events.emit(
+                    "task_submit",
+                    stage="classify",
+                    workload=workloads[miss_index].name,
+                    race=race_id,
+                )
+            for miss_index, race_id, key in race_misses[index]:
+                item = race_outputs[(miss_index, race_id)]
+                self.events.absorb(item.get("events"))
+                self._store_classification(
+                    workloads[miss_index].name,
+                    miss_index,
+                    race_id,
+                    key,
+                    ClassifiedRace.from_dict(item["classified"]),
+                    slots,
+                )
+        self.events.emit("stage_overlap", seconds=plan_clock.total())
+        self.events.emit(
+            "stage_overlap", channel="record_classify", seconds=record_clock.total()
+        )
+        for _ in range(classify_batches + path_batches):
+            self.events.emit("pool", action="reused")
+        for decision in decisions:
+            self.events.emit("scheduler_decision", **decision)
+        all_path_misses = [miss for index in range(count) for miss in path_misses[index]]
+        plan_list = [plans[(index, race_id)] for index, race_id, _key in all_path_misses]
+        for index, race_id, _key in all_path_misses:
+            self.events.emit(
+                "task_submit",
+                stage="plan",
+                workload=workloads[index].name,
+                race=race_id,
+            )
+        for (index, race_id, _key), plan in zip(all_path_misses, plan_list):
+            self.events.absorb(plan.get("events"))
+            for path_index in range(plan["path_count"] if plan["needs_paths"] else 0):
+                self.events.emit(
+                    "task_submit",
+                    stage="path",
+                    workload=workloads[index].name,
+                    race=race_id,
+                    path=path_index,
+                )
+            for item in sorted(
+                partials.get((index, race_id), ()), key=lambda o: o["path_index"]
+            ):
+                self.events.absorb(item.get("events"))
+        self._merge_path_results(recordings, all_path_misses, plan_list, partials, slots)
+        # Unpicklable workloads run their stage 3 in the driver, through the
+        # same serial fallback (and event emission) as the staged path.
+        self._classify_whole_races(recordings, contexts, serial_race, slots, config_data)
+        self._classify_per_path(recordings, contexts, serial_path, slots, config_data)
+        return self._finalize_runs(recordings, slots, cached_counts)
 
     # ---------------------------------------------------------------- stage 3
 
@@ -432,6 +926,15 @@ class AnalysisEngine:
         race_misses, path_misses = self._partition_misses(recordings, contexts, misses)
         self._classify_whole_races(recordings, contexts, race_misses, slots, config_data)
         self._classify_per_path(recordings, contexts, path_misses, slots, config_data)
+
+        return self._finalize_runs(recordings, slots, cached_counts)
+
+    def _finalize_runs(
+        self, recordings, slots, cached_counts
+    ) -> List[EngineRun]:
+        """Assemble the batch's EngineRuns from the filled classification
+        slots (shared by the staged path and the full-stream scheduler)."""
+        from repro.core.portend import PortendResult
 
         runs: List[EngineRun] = []
         for index, recording in enumerate(recordings):
@@ -782,15 +1285,20 @@ class AnalysisEngine:
 
 
 class _OverlapClock:
-    """Accumulates wall-clock time during which both stages are in flight."""
+    """Accumulates wall-clock time during which both stages are in flight.
+
+    One instance per overlap channel: the full-stream scheduler keeps a
+    plan↔path clock and a record↔classify clock (the latter counting any
+    stage-3 future -- classify, plan or path -- as the right-hand side).
+    """
 
     def __init__(self) -> None:
         self._since: Optional[float] = None
         self._total = 0.0
 
-    def update(self, plans_in_flight: int, paths_in_flight: int) -> None:
+    def update(self, left_in_flight: int, right_in_flight: int) -> None:
         now = time.perf_counter()
-        overlapping = plans_in_flight > 0 and paths_in_flight > 0
+        overlapping = left_in_flight > 0 and right_in_flight > 0
         if overlapping and self._since is None:
             self._since = now
         elif not overlapping and self._since is not None:

@@ -34,7 +34,13 @@ kind                         fields
 ``solver_stats``             ``backend`` + a ``SolverStats.to_dict()`` snapshot
                              (one per task, the aggregate of its queries)
 ``pool``                     ``action`` (created/reused)
-``stage_overlap``            ``seconds`` -- plan/path simultaneous flight
+``stage_overlap``            ``seconds``, ``channel`` (``plan_path`` when
+                             absent; ``record_classify`` for the full-stream
+                             scheduler's record↔classify overlap)
+``scheduler_decision``       ``stage``, ``chunk_size``, ``estimated_seconds``,
+                             ``actual_seconds`` -- one per chunk the
+                             cost-aware scheduler packed, so mispredictions
+                             are observable post-hoc via ``events-info``
 ``events_truncated``         ``dropped`` -- per-task buffer cap was hit
 ===========================  ====================================================
 
@@ -83,6 +89,7 @@ EVENT_KINDS = (
     "solver_stats",
     "pool",
     "stage_overlap",
+    "scheduler_decision",
     "events_truncated",
 )
 
@@ -220,7 +227,14 @@ def fold_events(events: Iterable[Event]) -> EngineStats:
             elif event.get("action") == "reused":
                 stats.pool_reuses += 1
         elif kind == "stage_overlap":
-            stats.stage_overlap_seconds += float(event.get("seconds", 0.0))
+            seconds = float(event.get("seconds", 0.0))
+            if event.get("channel") == "record_classify":
+                stats.record_classify_overlap_seconds += seconds
+            else:
+                stats.stage_overlap_seconds += seconds
+        # ``scheduler_decision`` events are advisory detail (like
+        # ``solver_query``): the chunks they describe already produced the
+        # task events folded above, so they fold to nothing.
     return stats
 
 
@@ -271,17 +285,28 @@ def _histogram(seconds: Sequence[float]) -> List[int]:
     return counts
 
 
+def _percentile(seconds: Sequence[float], quantile: float) -> float:
+    """Nearest-rank percentile of a latency sample (0.0 when empty)."""
+    if not seconds:
+        return 0.0
+    ordered = sorted(seconds)
+    rank = int(round(quantile * (len(ordered) - 1)))
+    return ordered[max(0, min(len(ordered) - 1, rank))]
+
+
 def summarize_events(events: Sequence[Event]) -> Dict[str, object]:
     """Mine an event stream for the ``events-info`` report.
 
     Returns a dict with: by-kind counts, the folded stats, per-stage task
-    latency histograms, cache hit rates by tier, and solver time/query
-    counts grouped by backend.
+    latency histograms (with p50/p95 percentiles), cache hit rates by tier,
+    solver time/query counts grouped by backend, and the cost-aware
+    scheduler's chunk decisions (estimated vs. actual seconds per stage).
     """
     by_kind: Dict[str, int] = {}
     stage_latencies: Dict[str, List[float]] = {}
     cache_totals: Dict[str, Dict[str, int]] = {}
     backends: Dict[str, Dict[str, float]] = {}
+    decisions: Dict[str, Dict[str, float]] = {}
     for event in events:
         kind = str(event.get("kind"))
         by_kind[kind] = by_kind.get(kind, 0) + 1
@@ -290,6 +315,21 @@ def summarize_events(events: Sequence[Event]) -> Dict[str, object]:
             stage_latencies.setdefault(stage, []).append(
                 float(event.get("seconds", 0.0))
             )
+        elif kind == "scheduler_decision":
+            stage = str(event.get("stage", "?"))
+            entry = decisions.setdefault(
+                stage,
+                {
+                    "chunks": 0,
+                    "tasks": 0,
+                    "estimated_seconds": 0.0,
+                    "actual_seconds": 0.0,
+                },
+            )
+            entry["chunks"] += 1
+            entry["tasks"] += int(event.get("chunk_size", 0))
+            entry["estimated_seconds"] += float(event.get("estimated_seconds", 0.0))
+            entry["actual_seconds"] += float(event.get("actual_seconds", 0.0))
         elif kind == "cache":
             tier = str(event.get("tier", "?"))
             entry = cache_totals.setdefault(tier, {"hits": 0, "misses": 0})
@@ -308,6 +348,8 @@ def summarize_events(events: Sequence[Event]) -> Dict[str, object]:
         stage: {
             "count": len(latencies),
             "total_seconds": sum(latencies),
+            "p50_seconds": _percentile(latencies, 0.50),
+            "p95_seconds": _percentile(latencies, 0.95),
             "buckets": {
                 _bucket_label(index): count
                 for index, count in enumerate(_histogram(latencies))
@@ -334,6 +376,7 @@ def summarize_events(events: Sequence[Event]) -> Dict[str, object]:
         "stage_latency": histograms,
         "cache_rates": cache_rates,
         "solver_backends": dict(sorted(backends.items())),
+        "scheduler_decisions": dict(sorted(decisions.items())),
     }
 
 
@@ -354,10 +397,22 @@ def render_events_info(events: Sequence[Event]) -> str:
         )
         lines.append(
             f"  {stage}: n={data['count']} "
-            f"total={data['total_seconds']:.3f}s  {buckets}"
+            f"total={data['total_seconds']:.3f}s "
+            f"p50={data['p50_seconds'] * 1000:.1f}ms "
+            f"p95={data['p95_seconds'] * 1000:.1f}ms  {buckets}"
         )
     if not summary["stage_latency"]:
         lines.append("  (no task_finish events)")
+    lines.append("")
+    lines.append("scheduler decisions:")
+    for stage, data in summary["scheduler_decisions"].items():
+        lines.append(
+            f"  {stage}: chunks={int(data['chunks'])} tasks={int(data['tasks'])} "
+            f"estimated={data['estimated_seconds']:.3f}s "
+            f"actual={data['actual_seconds']:.3f}s"
+        )
+    if not summary["scheduler_decisions"]:
+        lines.append("  (no scheduler_decision events)")
     lines.append("")
     lines.append("cache hit rates:")
     for tier, data in summary["cache_rates"].items():

@@ -63,6 +63,10 @@ class EngineStats:
     #: wall-clock seconds during which plan and path futures of the
     #: streaming scheduler were simultaneously in flight
     stage_overlap_seconds: float = 0.0
+    #: wall-clock seconds during which record futures and stage-3
+    #: (classify/plan/path) futures were simultaneously in flight -- the
+    #: full-stream scheduler's record↔classify overlap channel
+    record_classify_overlap_seconds: float = 0.0
 
     def reset(self) -> None:
         self.traces_recorded = 0
@@ -81,6 +85,7 @@ class EngineStats:
         self.pools_created = 0
         self.pool_reuses = 0
         self.stage_overlap_seconds = 0.0
+        self.record_classify_overlap_seconds = 0.0
 
     def merge(self, other: "EngineStats") -> None:
         """Add another stats view into this one (used to fold a finished
@@ -101,6 +106,7 @@ class EngineStats:
         self.pools_created += other.pools_created
         self.pool_reuses += other.pool_reuses
         self.stage_overlap_seconds += other.stage_overlap_seconds
+        self.record_classify_overlap_seconds += other.record_classify_overlap_seconds
 
     def absorb_solver(self, payload) -> None:
         """Fold one task's solver-counter snapshot into the aggregate.
@@ -137,7 +143,9 @@ class EngineStats:
             f"worker-cache hits={self.worker_cache_hits}, "
             f"pools created={self.pools_created}, "
             f"pool reuses={self.pool_reuses}, "
-            f"stage overlap seconds={self.stage_overlap_seconds:.2f}"
+            f"stage overlap seconds={self.stage_overlap_seconds:.2f}, "
+            f"record/classify overlap seconds="
+            f"{self.record_classify_overlap_seconds:.2f}"
         )
 
 

@@ -226,6 +226,18 @@ def pool_worker_initializer() -> None:
     _TRACE_MEMO.clear()
 
 
+def execute_noop_task(payload: Mapping) -> Dict:
+    """Do nothing (worker entry point).
+
+    The dispatcher's eager warm-up submits one of these per worker slot when
+    a run starts, so the pool's process spin-up (and each worker's
+    :func:`pool_worker_initializer`) happens concurrently with the driver's
+    cache probes instead of inside the first real task's measured latency.
+    Returns an empty dict: no events, no solver snapshot, folds to nothing.
+    """
+    return {}
+
+
 def execute_payload_chunk(worker, payloads: Sequence[Mapping]) -> list:
     """Run one worker entry point over a chunk of payloads (worker side).
 
@@ -274,6 +286,10 @@ class RecordTask:
     inputs: Dict
     config: Dict
     program: Optional[object] = None
+    #: program content hash; recording itself never consults it, but the
+    #: cost model keys record-task latency by it so the full-stream
+    #: scheduler can order recordings longest-expected-first
+    program_fingerprint: str = ""
 
     def to_payload(self) -> Dict:
         payload = {
@@ -281,6 +297,8 @@ class RecordTask:
             "inputs": dict(self.inputs),
             "config": self.config,
         }
+        if self.program_fingerprint:
+            payload["program_fingerprint"] = self.program_fingerprint
         if self.program is not None:
             payload["program"] = self.program
         return payload
@@ -292,6 +310,7 @@ class RecordTask:
             inputs=dict(payload["inputs"]),
             config=payload["config"],
             program=payload.get("program"),
+            program_fingerprint=payload.get("program_fingerprint", ""),
         )
 
 

@@ -80,11 +80,21 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--dispatch",
         default="streaming",
-        choices=["streaming", "barrier"],
-        help="pool dispatch strategy under --parallel: 'streaming' keeps one "
-        "persistent worker pool for the whole run and overlaps the plan and "
-        "path queues; 'barrier' is the legacy fresh-pool-per-stage behaviour "
-        "(kept for A/B comparison)",
+        choices=["streaming", "staged", "barrier"],
+        help="pool dispatch strategy under --parallel: 'streaming' runs the "
+        "whole record→classify→plan→path pipeline as one run-wide scheduler "
+        "on a persistent worker pool; 'staged' keeps the persistent pool but "
+        "barriers after the record stage (the previous default, kept for A/B "
+        "comparison); 'barrier' is the legacy fresh-pool-per-stage behaviour",
+    )
+    parser.add_argument(
+        "--chunk-target-ms",
+        type=int,
+        default=500,
+        metavar="MS",
+        help="per-chunk wall-clock target for the cost-aware scheduler: wide "
+        "task queues are packed into chunks estimated to run roughly this "
+        "long (default 500; see the costmodel.json sidecar in --cache-dir)",
     )
     parser.add_argument(
         "--solver",
@@ -173,6 +183,7 @@ def main(argv=None) -> int:
             dispatch=args.dispatch,
             solver=args.solver,
             events=args.events,
+            chunk_target_ms=args.chunk_target_ms,
         )
 
     for name in names:
@@ -187,6 +198,7 @@ def main(argv=None) -> int:
                 dispatch=args.dispatch,
                 solver=args.solver,
                 events=args.events,
+                chunk_target_ms=args.chunk_target_ms,
                 **kwargs,
             )
         else:

@@ -30,6 +30,7 @@ def run(
     dispatch: str = "streaming",
     solver: Optional[str] = None,
     events: Optional[str] = None,
+    chunk_target_ms: int = 500,
 ) -> Fig10Result:
     base = base_config or PortendConfig()
     result = Fig10Result()
@@ -47,6 +48,7 @@ def run(
                 dispatch=dispatch,
                 solver=solver,
                 events=events,
+                chunk_target_ms=chunk_target_ms,
             )
             score = score_workload(workload, run_.result.classified)
             result.accuracy[name][k] = score.accuracy

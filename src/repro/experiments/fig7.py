@@ -43,6 +43,7 @@ def run(
     dispatch: str = "streaming",
     solver: Optional[str] = None,
     events: Optional[str] = None,
+    chunk_target_ms: int = 500,
 ) -> Fig7Result:
     base = base_config or PortendConfig()
     result = Fig7Result()
@@ -59,6 +60,7 @@ def run(
                 dispatch=dispatch,
                 solver=solver,
                 events=events,
+                chunk_target_ms=chunk_target_ms,
             )
             score = score_workload(workload, run_.result.classified)
             result.accuracy[name][technique] = score.accuracy

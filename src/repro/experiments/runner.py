@@ -58,6 +58,7 @@ def _engine(
     dispatch: str = "streaming",
     solver: Optional[str] = None,
     events: Optional[str] = None,
+    chunk_target_ms: int = 500,
 ) -> AnalysisEngine:
     if solver is not None:
         config = replace(config or PortendConfig(), solver_backend=solver)
@@ -71,6 +72,7 @@ def _engine(
             cache_max_entries=cache_max_entries,
             dispatch=dispatch,
             events_path=events,
+            chunk_target_ms=chunk_target_ms,
         ),
     )
 
@@ -110,11 +112,12 @@ def analyze_workload(
     dispatch: str = "streaming",
     solver: Optional[str] = None,
     events: Optional[str] = None,
+    chunk_target_ms: int = 500,
 ) -> WorkloadRun:
     """Run detection + classification for one workload."""
     engine = _engine(
         config, use_semantic_predicates, parallel, cache_dir, granularity,
-        cache_max_entries, dispatch, solver, events,
+        cache_max_entries, dispatch, solver, events, chunk_target_ms,
     )
     engine_runs = engine.analyze_workloads([workload])
     return _wrap_runs(engine, engine_runs, use_semantic_predicates, measure_plain_time)[0]
@@ -133,17 +136,21 @@ def analyze_all(
     dispatch: str = "streaming",
     solver: Optional[str] = None,
     events: Optional[str] = None,
+    chunk_target_ms: int = 500,
 ) -> List[WorkloadRun]:
     """Run Portend over a set of workloads (default: the full Table 1 list).
 
-    ``parallel`` dispatches the staged record/classify queues over a process
-    pool; ``cache_dir`` reuses recorded traces *and* classifications across
+    ``parallel`` dispatches the pipeline queues over a process pool;
+    ``cache_dir`` reuses recorded traces *and* classifications across
     invocations; ``granularity`` picks the stage-3 task grain ("race",
     "path", or "auto"); ``dispatch`` picks the pool strategy ("streaming"
-    persistent-pool futures or the legacy "barrier" -- see
+    full-stream run-wide scheduler, "staged" persistent pool with a
+    record-stage barrier, or the legacy "barrier" -- see
     :class:`repro.engine.EngineOptions`); ``solver`` overrides the
     config's solver backend (see :mod:`repro.symex.factory`); ``events``
-    appends the run's structured event stream to a JSON-lines file.
+    appends the run's structured event stream to a JSON-lines file;
+    ``chunk_target_ms`` sets the cost-aware scheduler's per-chunk
+    wall-clock target.
     """
     if names is None:
         workloads = all_workloads(include_micro=include_micro)
@@ -151,7 +158,7 @@ def analyze_all(
         workloads = [load_workload(name) for name in names]
     engine = _engine(
         config, use_semantic_predicates, parallel, cache_dir, granularity,
-        cache_max_entries, dispatch, solver, events,
+        cache_max_entries, dispatch, solver, events, chunk_target_ms,
     )
     engine_runs = engine.analyze_workloads(workloads)
     return _wrap_runs(engine, engine_runs, use_semantic_predicates, measure_plain_time)

@@ -47,6 +47,7 @@ def run(
     dispatch: str = "streaming",
     solver: Optional[str] = None,
     events: Optional[str] = None,
+    chunk_target_ms: int = 500,
 ) -> List[Table2Row]:
     config = config or PortendConfig()
     rows: List[Table2Row] = []
@@ -66,6 +67,7 @@ def run(
             dispatch=dispatch,
             solver=solver,
             events=events,
+            chunk_target_ms=chunk_target_ms,
         )
         classified = run_result.result.classified
         rows.append(
@@ -92,6 +94,7 @@ def run(
         dispatch=dispatch,
         solver=solver,
         events=events,
+        chunk_target_ms=chunk_target_ms,
     )
     rows.insert(
         3,

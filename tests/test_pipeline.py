@@ -64,7 +64,12 @@ class TestPerPathEquivalence:
         assert direct_sig == engine_sig
 
     def test_auto_granularity_resolution(self):
-        assert AnalysisEngine().effective_granularity() == "race"
+        # parallel=0 pinned: the option's default honors REPRO_PARALLEL,
+        # and this case asserts the specifically-serial resolution.
+        assert (
+            AnalysisEngine(options=EngineOptions(parallel=0)).effective_granularity()
+            == "race"
+        )
         assert (
             AnalysisEngine(options=EngineOptions(parallel=4)).effective_granularity()
             == "path"

@@ -1,0 +1,332 @@
+"""Tests for the full-stream run-wide scheduler and its cost model.
+
+Covers the whole-pipeline streaming redesign: bit-identical verdicts and a
+structurally deterministic event stream under adversarially shuffled
+record/classify/plan/path completion orders, the EWMA cost model (estimates,
+chunk-size invariants -- including the wide-queue fallback fix -- and the
+sidecar warm start), the eager pool warm-up accounting, the
+``scheduler_decision`` observability hooks, and the environment-variable
+defaults the CI full-stream job relies on.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import AnalysisEngine, CostModel, EngineOptions, PoolDispatcher
+from repro.engine.costmodel import payload_fingerprint
+from repro.engine.events import (
+    fold_events,
+    render_events_info,
+    summarize_events,
+)
+from repro.engine.stats import GLOBAL_STATS
+
+from test_streaming import NAMES, _DeferredPool, _full_signature, _shuffled_wait
+
+
+class TestCostModel:
+    def test_ewma_fold(self):
+        model = CostModel(alpha=0.5)
+        model.observe("classify", "fp", 1.0)
+        assert model.estimate("classify", "fp") == 1.0
+        model.observe("classify", "fp", 2.0)
+        assert model.estimate("classify", "fp") == pytest.approx(1.5)
+
+    def test_estimate_falls_back_to_kind_average(self):
+        model = CostModel()
+        model.observe("path", "seen", 0.25)
+        # Unseen fingerprint of a seen kind borrows the kind aggregate;
+        # an entirely cold kind estimates 0.0 (advisory-only).
+        assert model.estimate("path", "unseen") == pytest.approx(0.25)
+        assert model.estimate("plan", "unseen") == 0.0
+
+    def test_negative_observations_are_ignored(self):
+        model = CostModel()
+        model.observe("classify", "fp", -1.0)
+        assert model.estimate("classify", "fp") == 0.0
+
+    def test_output_seconds_prefers_worker_task_finish(self):
+        output = {
+            "seconds": 9.0,
+            "events": [
+                {"kind": "task_start", "stage": "classify"},
+                {"kind": "task_finish", "stage": "classify", "seconds": 0.125},
+            ],
+        }
+        assert CostModel.output_seconds(output) == 0.125
+        assert CostModel.output_seconds({"seconds": 0.5}) == 0.5
+        assert CostModel.output_seconds({}) is None
+        assert CostModel.output_seconds(None) is None
+
+    @pytest.mark.parametrize(
+        "count,workers",
+        [(2, 4), (6, 4), (7, 2), (8, 2), (15, 4), (100, 4), (3, 8)],
+    )
+    def test_cold_chunks_spread_across_all_workers(self, count, workers):
+        # The wide-queue fallback fix: a batch smaller than 4*workers must
+        # still split across the pool instead of collapsing into one chunk.
+        model = CostModel()
+        size = model.chunk_size("classify", "fp", count, workers)
+        chunk_count = -(-count // size)  # ceil
+        assert chunk_count >= min(count, workers), (count, workers, size)
+        payloads = [{"workload": f"w{i}"} for i in range(count)]
+        chunks = model.pack_chunks("classify", payloads, workers)
+        assert len(chunks) >= min(count, workers)
+
+    def test_warm_chunks_target_the_configured_seconds(self):
+        model = CostModel(target_seconds=1.0)
+        for _ in range(3):
+            model.observe("path", "fp", 0.1)
+        # ~10 tasks fit the 1s target, clamped to ceil(count/workers*waves).
+        assert model.chunk_size("path", "fp", 100, 4) == 10
+        # A task slower than the target runs alone.
+        for _ in range(20):
+            model.observe("path", "slow", 5.0)
+        assert model.chunk_size("path", "slow", 100, 4) == 1
+
+    def test_pack_chunks_orders_longest_expected_first(self):
+        model = CostModel(target_seconds=10.0)  # cost never closes a chunk
+        model.observe("classify", "slow", 3.0)
+        model.observe("classify", "fast", 0.01)
+        payloads = [{"program_fingerprint": "fast"}] * 7 + [
+            {"program_fingerprint": "slow"}
+        ]
+        chunks = model.pack_chunks("classify", payloads, 4)
+        # The expensive payload (index 7) leads the first chunk.
+        assert chunks[0][0][0] == 7
+        covered = sorted(index for indices, _cost in chunks for index in indices)
+        assert covered == list(range(len(payloads)))
+        upper = -(-len(payloads) // 4)  # 8 payloads, 4 workers, 2 waves
+        assert all(len(indices) <= upper for indices, _cost in chunks)
+
+    def test_payload_fingerprint_prefers_program_hash(self):
+        assert payload_fingerprint({"program_fingerprint": "abc"}) == "abc"
+        assert payload_fingerprint({"workload": "bbuf"}) == "bbuf"
+        assert payload_fingerprint({}) == ""
+
+    def test_sidecar_round_trip(self, tmp_path):
+        path = str(tmp_path / "costmodel.json")
+        model = CostModel(sidecar_path=path)
+        model.observe("record", "fp-a", 0.2)
+        model.observe("classify", "fp-b", 0.05)
+        assert model.save()
+        warm = CostModel(sidecar_path=path)
+        assert warm.warm_entries == 2
+        assert warm.estimate("record", "fp-a") == pytest.approx(0.2)
+        assert warm.estimate("classify", "fp-b") == pytest.approx(0.05)
+        # The per-kind fallback is rebuilt from the loaded entries.
+        assert warm.estimate("record", "unseen") == pytest.approx(0.2)
+
+    def test_sidecar_rejects_bad_version_and_corrupt_files(self, tmp_path):
+        versioned = tmp_path / "versioned.json"
+        versioned.write_text('{"version": 999, "entries": {"record|x": {"ewma": 1, "count": 1}}}')
+        assert CostModel(sidecar_path=str(versioned)).warm_entries == 0
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{ not json")
+        assert CostModel(sidecar_path=str(corrupt)).warm_entries == 0
+        assert CostModel(sidecar_path=str(tmp_path / "missing.json")).warm_entries == 0
+
+    def test_save_without_sidecar_is_a_noop(self):
+        assert CostModel().save() is False
+
+    def test_engine_persists_and_warm_starts_the_sidecar(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        engine = AnalysisEngine(
+            options=EngineOptions(parallel=0, cache_dir=cache_dir)
+        )
+        engine.analyze(["bbuf"])
+        assert (tmp_path / "cache" / "costmodel.json").exists()
+        warm = AnalysisEngine(
+            options=EngineOptions(parallel=0, cache_dir=cache_dir)
+        )
+        assert warm.cost_model.warm_entries > 0
+
+
+class TestWarmPool:
+    def test_streaming_run_counts_exactly_one_pool_creation(self):
+        # The eager warm-up builds the pool; every later dispatch (including
+        # the full-stream scheduler's acquire) must count a reuse, never a
+        # second creation.
+        GLOBAL_STATS.reset()
+        AnalysisEngine(
+            options=EngineOptions(parallel=2, granularity="path")
+        ).analyze(["RW", "bbuf"])
+        assert GLOBAL_STATS.pools_created == 1
+        assert GLOBAL_STATS.pool_reuses >= 1
+
+    def test_warm_is_a_noop_without_a_persistent_pool(self):
+        serial = PoolDispatcher(0)
+        serial.warm()
+        assert serial._pool is None
+        barrier = PoolDispatcher(2, "barrier")
+        barrier.warm()
+        assert barrier._pool is None
+
+
+class TestFullStreamDeterminism:
+    def _structural(self, events):
+        """The completion-order-independent projection of a run's stream
+        (mirrors the projection asserted in test_events.py)."""
+        projected = []
+        for event in events:
+            if event["kind"] in (
+                "pool",
+                "stage_overlap",
+                "run_start",
+                "scheduler_decision",
+            ):
+                continue
+            if event["kind"] in ("solver_query", "solver_stats"):
+                keep = ("kind", "backend", "result")
+                projected.append({k: v for k, v in event.items() if k in keep})
+            else:
+                projected.append(
+                    {k: v for k, v in event.items() if k not in ("ts", "seconds")}
+                )
+        return projected
+
+    def test_shuffled_full_stream_is_bit_identical_and_structurally_stable(
+        self, monkeypatch
+    ):
+        # Record, classify, plan and path futures all land in adversarially
+        # shuffled order; verdicts must stay bit-identical to the serial
+        # reference and the merged event stream structurally identical
+        # across every interleaving.
+        reference = AnalysisEngine(
+            options=EngineOptions(parallel=0, granularity="race")
+        ).analyze(NAMES)
+        streams = []
+        for seed in (0, 3, 11, 42):
+            rng = random.Random(seed)
+            pool = _DeferredPool()
+            monkeypatch.setattr(PoolDispatcher, "warm", lambda self: None)
+            monkeypatch.setattr(
+                PoolDispatcher, "acquire_for", lambda self, payloads: pool
+            )
+            monkeypatch.setattr(
+                PoolDispatcher,
+                "map",
+                lambda self, payloads, worker: [worker(p) for p in payloads],
+            )
+            monkeypatch.setattr(
+                "repro.engine.engine.wait", _shuffled_wait(pool, rng)
+            )
+            engine = AnalysisEngine(
+                options=EngineOptions(parallel=2, granularity="auto")
+            )
+            shuffled = engine.analyze(NAMES)
+            assert not pool.pending, seed  # the scheduler drained everything
+            assert _full_signature(reference) == _full_signature(shuffled), seed
+            assert fold_events(engine.last_run_events) == engine.last_run_stats
+            streams.append(self._structural(engine.last_run_events))
+        assert all(stream == streams[0] for stream in streams[1:])
+
+    def test_shuffled_full_stream_with_caches(self, monkeypatch, tmp_path):
+        # Same shuffle with both on-disk caches in play: the cold run's
+        # verdicts and the warm run's (fully cached) verdicts must both
+        # match the serial reference.
+        reference = AnalysisEngine(
+            options=EngineOptions(parallel=0, granularity="race")
+        ).analyze(NAMES)
+        cache_dir = str(tmp_path / "cache")
+        for seed in (1, 5):
+            rng = random.Random(seed)
+            pool = _DeferredPool()
+            monkeypatch.setattr(PoolDispatcher, "warm", lambda self: None)
+            monkeypatch.setattr(
+                PoolDispatcher, "acquire_for", lambda self, payloads: pool
+            )
+            monkeypatch.setattr(
+                PoolDispatcher,
+                "map",
+                lambda self, payloads, worker: [worker(p) for p in payloads],
+            )
+            monkeypatch.setattr(
+                "repro.engine.engine.wait", _shuffled_wait(pool, rng)
+            )
+            runs = AnalysisEngine(
+                options=EngineOptions(
+                    parallel=2, granularity="path", cache_dir=cache_dir
+                )
+            ).analyze(NAMES)
+            assert not pool.pending, seed
+            assert _full_signature(reference) == _full_signature(runs), seed
+
+    def test_record_classify_overlap_stat_folds_from_its_channel(self):
+        events = [
+            {"kind": "stage_overlap", "seconds": 0.5},
+            {"kind": "stage_overlap", "channel": "record_classify", "seconds": 0.25},
+        ]
+        stats = fold_events(events)
+        assert stats.stage_overlap_seconds == 0.5
+        assert stats.record_classify_overlap_seconds == 0.25
+        assert "record/classify overlap seconds=0.25" in stats.summary()
+
+
+class TestSchedulerObservability:
+    def test_full_stream_run_emits_scheduler_decisions(self):
+        engine = AnalysisEngine(
+            options=EngineOptions(parallel=2, granularity="path")
+        )
+        engine.analyze(["stress_deep"])
+        decisions = [
+            e for e in engine.last_run_events if e["kind"] == "scheduler_decision"
+        ]
+        assert decisions
+        for event in decisions:
+            assert event["stage"] in ("classify", "plan", "path", "record")
+            assert event["chunk_size"] >= 1
+            assert event["estimated_seconds"] >= 0.0
+            assert event["actual_seconds"] >= 0.0
+        # Advisory detail: decisions fold into no counter.
+        assert fold_events(decisions) == fold_events([])
+
+    def test_events_info_summarizes_decisions_and_percentiles(self):
+        engine = AnalysisEngine(
+            options=EngineOptions(parallel=2, granularity="path")
+        )
+        engine.analyze(["stress_deep"])
+        summary = summarize_events(engine.last_run_events)
+        assert summary["scheduler_decisions"]
+        for data in summary["scheduler_decisions"].values():
+            assert data["chunks"] >= 1
+            assert data["tasks"] >= data["chunks"]
+        for data in summary["stage_latency"].values():
+            assert data["p50_seconds"] <= data["p95_seconds"]
+        report = render_events_info(engine.last_run_events)
+        assert "scheduler decisions:" in report
+        assert "p50=" in report and "p95=" in report
+
+    def test_events_info_handles_streams_without_decisions(self):
+        report = render_events_info([])
+        assert "(no scheduler_decision events)" in report
+
+
+class TestEnvironmentDefaults:
+    def test_parallel_dispatch_and_chunk_target(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "3")
+        monkeypatch.setenv("REPRO_DISPATCH", "staged")
+        monkeypatch.setenv("REPRO_CHUNK_TARGET_MS", "250")
+        options = EngineOptions()
+        assert options.parallel == 3
+        assert options.dispatch == "staged"
+        assert options.chunk_target_ms == 250
+        # Explicit constructor arguments always win over the environment.
+        pinned = EngineOptions(parallel=0, dispatch="streaming", chunk_target_ms=500)
+        assert pinned.parallel == 0
+        assert pinned.dispatch == "streaming"
+        assert pinned.chunk_target_ms == 500
+
+    def test_defaults_without_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        monkeypatch.delenv("REPRO_DISPATCH", raising=False)
+        monkeypatch.delenv("REPRO_CHUNK_TARGET_MS", raising=False)
+        options = EngineOptions()
+        assert options.parallel == 0
+        assert options.dispatch == "streaming"
+        assert options.chunk_target_ms == 500
+
+    def test_garbage_env_values_fall_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "not-a-number")
+        assert EngineOptions().parallel == 0

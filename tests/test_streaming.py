@@ -105,6 +105,7 @@ class TestDispatchEquivalence:
         reference = AnalysisEngine(options=EngineOptions(granularity="race")).analyze(NAMES)
         rng = random.Random(seed)
         pool = _DeferredPool()
+        monkeypatch.setattr(PoolDispatcher, "warm", lambda self: None)
         monkeypatch.setattr(
             PoolDispatcher, "acquire_for", lambda self, payloads: pool
         )
@@ -146,7 +147,9 @@ class TestPoolLifecycle:
 
     def test_serial_run_builds_no_pool(self):
         GLOBAL_STATS.reset()
-        AnalysisEngine().analyze(["RW"])
+        # Pin parallel=0: the option's default honors REPRO_PARALLEL, and
+        # this test asserts specifically-serial pool accounting.
+        AnalysisEngine(options=EngineOptions(parallel=0)).analyze(["RW"])
         assert GLOBAL_STATS.pools_created == 0
         assert GLOBAL_STATS.pool_reuses == 0
 
@@ -214,13 +217,14 @@ class TestWorkerCacheAccounting:
         # entries the earlier tasks wrote -- even on the serial path, which
         # runs the same task code in the driving process.
         GLOBAL_STATS.reset()
-        AnalysisEngine().analyze_workloads([build_stress(races=6)])
+        serial = EngineOptions(parallel=0)  # pin against REPRO_PARALLEL
+        AnalysisEngine(options=serial).analyze_workloads([build_stress(races=6)])
         serial_hits = GLOBAL_STATS.worker_cache_hits
         assert serial_hits > 0
         # Each run starts from clean worker-lifetime state, so an identical
         # second run reports identical accounting.
         GLOBAL_STATS.reset()
-        AnalysisEngine().analyze_workloads([build_stress(races=6)])
+        AnalysisEngine(options=serial).analyze_workloads([build_stress(races=6)])
         assert GLOBAL_STATS.worker_cache_hits == serial_hits
 
 
