@@ -30,7 +30,16 @@ Three A/B comparisons quantify the hot-path optimizations:
   ``SQLite`` + ``stress_deep``): the slow recording anchors the staged
   barrier while the fast workloads' classifications could already run.
   Full stream must keep verdicts bit-identical to serial, measure
-  record↔classify overlap > 0, and not lose to staged.
+  record↔classify overlap > 0, and not lose to staged, and
+* **warm tier** -- the persistent solver warm tier cold vs warm on the
+  solver-heavy pair (``stress_deep`` + ``stress_harmful``): the second
+  run against the same cache directory (classification entries deleted
+  in between, so every verdict is recomputed) rehydrates the hottest
+  worker-cache entries from ``solver_warm/`` sidecars and must
+  enumerate strictly fewer assignments than the cold run without
+  changing a verdict; a third, pooled run with ``--speculate`` replays
+  the same batch against the warmed primary-count history and must
+  confirm speculative path submissions.
 
 Classifications are verified bit-identical across all modes.  Running the
 file directly emits a JSON artifact (``bench_engine.json``) with every
@@ -132,7 +141,106 @@ def run_comparison(names=None):
     outcome["full_stream"] = run_full_stream_comparison()
     outcome["solver_backends"] = run_solver_backend_comparison()
     outcome["events"] = run_events_check()
+    outcome["warm_tier"] = run_warm_tier_comparison()
     return outcome
+
+
+def _drop_classifications(cache_dir):
+    """Delete the classification-cache entries, keeping traces + sidecars.
+
+    This is how the warm-tier A/B isolates the solver tier: the second run
+    must recompute every verdict (so the solver actually runs) while reusing
+    the recorded traces, the cost-model sidecar and the ``solver_warm/``
+    entries the first run persisted.
+    """
+    for name in os.listdir(cache_dir):
+        if "-cls-" in name and name.endswith(".json"):
+            os.remove(os.path.join(cache_dir, name))
+
+
+def run_warm_tier_comparison(names=("stress_deep", "stress_harmful")):
+    """Persistent solver warm tier: cold vs warm, plus speculation.
+
+    Three legs against one shared cache directory, with the classification
+    entries deleted between legs so every verdict is recomputed:
+
+    1. **cold** -- serial path-granularity run on an empty directory; the
+       engine persists the hottest worker-cache entries to ``solver_warm/``
+       sidecars and the per-race primary counts to ``costmodel.json``,
+    2. **warm** -- the identical run again; fresh solver caches rehydrate
+       from the sidecars, so enumeration must drop strictly below cold
+       while every verdict stays bit-identical,
+    3. **speculate** -- the same batch over a pool at path granularity with
+       speculative path submission on: the warmed primary-count history
+       predicts each race's fan-out, path tasks are pre-submitted before
+       their plan lands, and the confirmed speculations are counted.
+
+    The warm tier and speculation are both advisory: a no-warm-tier
+    reference run pins the signature all three legs must reproduce.
+    """
+    serial = dict(parallel=0, granularity="path")
+    baseline_runs = AnalysisEngine(
+        options=EngineOptions(warm_tier=False, speculate=False, **serial)
+    ).analyze(list(names))
+    reference = _signature(baseline_runs)
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        options = EngineOptions(
+            cache_dir=cache_dir, warm_tier=True, speculate=False, **serial
+        )
+        legs = {}
+        signatures = {}
+        for label in ("cold", "warm"):
+            GLOBAL_STATS.reset()
+            started = time.perf_counter()
+            runs = AnalysisEngine(options=options).analyze(list(names))
+            legs[label] = {
+                "seconds": time.perf_counter() - started,
+                "solver_enumerated": GLOBAL_STATS.solver_assignments_enumerated,
+                "worker_cache_hits": GLOBAL_STATS.worker_cache_hits,
+                "classifications_computed": GLOBAL_STATS.classifications_computed,
+            }
+            signatures[label] = _signature(runs)
+            _drop_classifications(cache_dir)
+        warm_dir = os.path.join(cache_dir, "solver_warm")
+        sidecars = len(os.listdir(warm_dir)) if os.path.isdir(warm_dir) else 0
+
+        GLOBAL_STATS.reset()
+        started = time.perf_counter()
+        spec_runs = AnalysisEngine(
+            options=EngineOptions(
+                parallel=WORKERS,
+                granularity="path" if WORKERS > 1 else "auto",
+                cache_dir=cache_dir,
+                warm_tier=True,
+                speculate=True,
+            )
+        ).analyze(list(names))
+        speculation = {
+            "seconds": time.perf_counter() - started,
+            "hits": GLOBAL_STATS.speculation_hits,
+            "wasted": GLOBAL_STATS.speculation_wasted,
+        }
+        signatures["speculate"] = _signature(spec_runs)
+
+    cold_enumerated = legs["cold"]["solver_enumerated"]
+    warm_enumerated = legs["warm"]["solver_enumerated"]
+    return {
+        "workloads": list(names),
+        "workers": WORKERS,
+        "cold": legs["cold"],
+        "warm": legs["warm"],
+        "warm_sidecars": sidecars,
+        "speculation": speculation,
+        "identical": all(
+            signature == reference for signature in signatures.values()
+        ),
+        "enumeration_drop": (
+            (cold_enumerated - warm_enumerated) / cold_enumerated
+            if cold_enumerated
+            else 0.0
+        ),
+    }
 
 
 def run_solver_backend_comparison(names=("stress_deep",)):
@@ -418,6 +526,7 @@ def render(outcome):
     full_stream = outcome["full_stream"]
     backends = outcome["solver_backends"]
     events = outcome["events"]
+    warm_tier = outcome["warm_tier"]
     lines = [
         "Engine benchmark: staged pipeline, serial vs parallel vs warm cache",
         f"{'workloads':<26} {len(serial_runs)}",
@@ -491,6 +600,19 @@ def render(outcome):
         f"({events['solver_query_events']} solver queries)",
         f"{'verdicts identical':<26} {events['identical']}",
         f"{'fold == live counters':<26} {events['fold_matches']}",
+        "",
+        f"Warm tier ({', '.join(warm_tier['workloads'])}):",
+        f"{'cold run':<26} {warm_tier['cold']['seconds']:.2f}s  "
+        f"({warm_tier['cold']['solver_enumerated']} assignments enumerated, "
+        f"{warm_tier['warm_sidecars']} sidecars persisted)",
+        f"{'warm run':<26} {warm_tier['warm']['seconds']:.2f}s  "
+        f"({warm_tier['warm']['solver_enumerated']} assignments enumerated, "
+        f"{warm_tier['warm']['worker_cache_hits']} worker-cache hits)",
+        f"{'enumeration drop':<26} {warm_tier['enumeration_drop']:.1%}",
+        f"{'speculative run':<26} {warm_tier['speculation']['seconds']:.2f}s  "
+        f"({warm_tier['speculation']['hits']} speculation hits, "
+        f"{warm_tier['speculation']['wasted']} wasted)",
+        f"{'verdicts identical':<26} {warm_tier['identical']}",
     ]
     return "\n".join(lines)
 
@@ -516,6 +638,7 @@ def to_artifact(outcome):
         "full_stream": outcome["full_stream"],
         "solver_backends": outcome["solver_backends"],
         "events": outcome["events"],
+        "warm_tier": outcome["warm_tier"],
     }
 
 
@@ -578,7 +701,29 @@ def verify(outcome):
     assert events["identical"], events
     assert events["fold_matches"], events
     assert events["solver_query_events"] > 0, events
+    # The persistent warm tier: the warm run rehydrates fresh solver caches
+    # from the sidecars, so it must enumerate *strictly* fewer assignments
+    # than the cold run, actually hit the rehydrated entries, recompute
+    # every verdict (the classification cache was emptied between legs),
+    # and not be slower than cold (small noise allowance) -- all without
+    # changing a verdict relative to the no-warm-tier reference.
+    warm_tier = outcome["warm_tier"]
+    assert warm_tier["identical"], warm_tier
+    assert warm_tier["warm_sidecars"] > 0, warm_tier
+    assert warm_tier["warm"]["classifications_computed"] > 0, warm_tier
+    assert (
+        warm_tier["warm"]["solver_enumerated"]
+        < warm_tier["cold"]["solver_enumerated"]
+    ), warm_tier
+    assert warm_tier["warm"]["worker_cache_hits"] > 0, warm_tier
+    assert (
+        warm_tier["warm"]["seconds"] <= 1.10 * warm_tier["cold"]["seconds"]
+    ), warm_tier
     if (os.cpu_count() or 1) > 1 and WORKERS > 1:
+        # Speculative path submission needs a pool at path granularity to
+        # engage; with the warmed primary-count history it must confirm at
+        # least one speculation on this batch.
+        assert warm_tier["speculation"]["hits"] > 0, warm_tier
         # Real parallel hardware must beat the serial pipeline on a
         # multi-race batch (hundreds of independent tasks).
         assert outcome["parallel_seconds"] < outcome["serial_seconds"]

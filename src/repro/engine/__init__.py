@@ -8,7 +8,9 @@
   persistent pool (streaming/staged modes) and the legacy per-dispatch pool
   (barrier mode),
 * :mod:`repro.engine.costmodel` -- :class:`CostModel`, the online EWMA
-  task-cost estimates behind adaptive chunk sizing and
+  task-cost estimates behind adaptive chunk sizing, cost-aware
+  race-vs-path granularity, speculative path submission (its
+  per-(workload, race) primary-count history), and
   longest-expected-first submission,
 * :mod:`repro.engine.tasks` -- the work items (``RecordTask``,
   ``ClassificationTask``, ``PlanTask``, ``PathTask``), their picklable
@@ -16,7 +18,10 @@
   lifetime solver-cache state,
 * :mod:`repro.engine.cache` -- the on-disk trace cache keyed by
   ``(program, inputs, config)`` and the classification cache keyed by
-  ``(program, inputs, config, race_id)`` plus the predicate mode,
+  ``(program, inputs, config, race_id)`` plus the predicate mode; the
+  cost-model sidecar (``costmodel.json``) and the persistent solver warm
+  tier (``solver_warm/<fingerprint>.json``, see
+  :mod:`repro.symex.solver`) live in the same directory,
 * :mod:`repro.engine.events` -- the typed JSON-lines event stream every
   pipeline counter is folded from,
 * :mod:`repro.engine.stats` -- the :class:`EngineStats` view of a folded

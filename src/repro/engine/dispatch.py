@@ -91,6 +91,7 @@ class PoolDispatcher:
         mode: str = "streaming",
         events: Optional[EventLogger] = None,
         cost_model: Optional[CostModel] = None,
+        warm_tier_root: Optional[str] = None,
     ) -> None:
         if mode not in DISPATCH_MODES:
             raise ValueError(
@@ -99,6 +100,10 @@ class PoolDispatcher:
             )
         self.workers = int(workers or 0)
         self.mode = mode
+        #: cache root whose ``solver_warm/`` sidecars every fresh pool worker
+        #: should rehydrate (None = warm tier off); forwarded as the pool
+        #: initializer's argument so cold processes start warm
+        self.warm_tier_root = warm_tier_root
         #: pool-lifecycle events land here (the engine passes its run logger;
         #: a standalone dispatcher gets a private stream)
         self.events = events if events is not None else EventLogger()
@@ -132,7 +137,9 @@ class PoolDispatcher:
         if self._pool is None:
             try:
                 self._pool = ProcessPoolExecutor(
-                    max_workers=self.workers, initializer=pool_worker_initializer
+                    max_workers=self.workers,
+                    initializer=pool_worker_initializer,
+                    initargs=(self.warm_tier_root,),
                 )
             except OSError:
                 self.mark_broken()

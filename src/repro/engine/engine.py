@@ -64,7 +64,7 @@ from repro.core.classifier import (
 from repro.core.config import PortendConfig
 from repro.core.multi_path import PathVerdict, merge_path_verdicts
 from repro.engine.cache import ClassificationCache, TraceCache
-from repro.engine.costmodel import CostModel
+from repro.engine.costmodel import CostModel, prune_scored
 from repro.engine.dispatch import DISPATCH_MODES, PoolDispatcher, picklable
 from repro.engine.events import EventLogger, write_events
 from repro.engine.stats import GLOBAL_STATS, EngineStats
@@ -80,7 +80,12 @@ from repro.engine.tasks import (
     execute_task,
 )
 from repro.record_replay.trace import ExecutionTrace
-from repro.symex.solver import reset_worker_caches
+from repro.symex.solver import (
+    reset_worker_caches,
+    save_warm_tier,
+    set_warm_tier_dir,
+    worker_cache_items,
+)
 from repro.workloads import Workload, all_workloads, load_workload
 
 #: stage-3 task granularities (see EngineOptions.granularity)
@@ -89,6 +94,16 @@ GRANULARITIES = ("auto", "race", "path")
 #: monotonic source of trace tokens -- process-unique, never reused, so the
 #: in-process serial fallback can never be served a stale memoized trace
 _TRACE_TOKENS = itertools.count()
+
+#: upper bound on speculative PathTasks pre-submitted per race, independent
+#: of what the cost model's primary-count history predicts -- speculation is
+#: a scheduling hint, and a wild prediction must not flood the pool
+_SPECULATION_CAP = 16
+
+#: per-fingerprint sidecar files kept in ``<cache_dir>/solver_warm/`` after a
+#: run finishes; oldest files beyond the cap are deleted (mirrors the capped
+#: eviction the cost-model sidecar applies to its own tables)
+_WARM_DIR_LIMIT = 64
 
 
 def _env_int(name: str, default: int) -> int:
@@ -111,6 +126,14 @@ def _default_dispatch() -> str:
 
 def _default_chunk_target_ms() -> int:
     return _env_int("REPRO_CHUNK_TARGET_MS", 500)
+
+
+def _default_warm_tier() -> bool:
+    return _env_int("REPRO_WARM_TIER", 1) != 0
+
+
+def _default_speculate() -> bool:
+    return _env_int("REPRO_SPECULATE", 0) != 0
 
 
 @dataclass(frozen=True)
@@ -161,9 +184,29 @@ class EngineOptions:
     #: set (see :mod:`repro.engine.events`); None disables the write -- the
     #: events are still collected and folded into the run's stats either way
     events_path: Optional[str] = None
+    #: persist the hottest worker-lifetime solver-cache entries to
+    #: ``<cache_dir>/solver_warm/<program_fingerprint>.json`` when the run
+    #: finishes, and rehydrate them into every fresh worker process (pool
+    #: initializer) and the driver's own caches -- so cold processes start
+    #: warm.  Advisory only: entries are bit-identical to what recomputation
+    #: would produce, so verdicts cannot change.  No-op without a cache
+    #: directory.  Default from ``REPRO_WARM_TIER`` (on).
+    warm_tier: bool = field(default_factory=_default_warm_tier)
+    #: speculative path submission: when a recording lands and the cost
+    #: model's primary-count history predicts K primaries for a race, the
+    #: full-stream scheduler pre-submits up to K PathTasks *before* the
+    #: race's plan returns.  Confirmed speculations merge normally;
+    #: mispredictions are discarded and recounted.  Changes scheduling only,
+    #: never verdicts.  Default from ``REPRO_SPECULATE`` (off).
+    speculate: bool = field(default_factory=_default_speculate)
 
 
-def choose_granularity(distinct_races: int, workers: int) -> str:
+def choose_granularity(
+    distinct_races: int,
+    workers: int,
+    race_cost: float = 0.0,
+    split_cost: float = 0.0,
+) -> str:
     """Pick a stage-3 grain for one workload from the batch shape.
 
     Worker count alone is a bad signal: per-path tasks exist to keep a pool
@@ -178,12 +221,53 @@ def choose_granularity(distinct_races: int, workers: int) -> str:
     The 2x headroom factor keeps per-race tasks from merely matching the
     pool width: with fewer than two waves of race tasks per worker, stragglers
     leave the pool idle at the tail, which is exactly where path fan-out pays.
+
+    When the cost model has latency history for the workload, the shape rule
+    is refined by *expected cost*: ``race_cost`` is the estimated seconds to
+    classify one race whole, ``split_cost`` the estimated plan + per-path
+    seconds of splitting it.  Splitting only shortens the critical path when
+    the per-path pieces are cheaper than the whole-race task; when the
+    history says ``split_cost >= race_cost`` (the plan overhead dominates),
+    the fan-out cannot pay and the chooser stays at race granularity.  Cold
+    estimates (zeros) leave the shape-based decision untouched.
     """
     if workers is None or workers <= 1:
         return "race"
     if distinct_races >= 2 * workers:
         return "race"
+    if race_cost > 0.0 and split_cost > 0.0 and split_cost >= race_cost:
+        return "race"
     return "path"
+
+
+def _prune_warm_tier_dir(root: str, limit: int = _WARM_DIR_LIMIT) -> None:
+    """Capped eviction for the warm-tier sidecar directory.
+
+    Keeps the ``limit`` most recently written ``solver_warm/*.json`` files
+    and deletes the rest -- the same ``prune_scored`` primitive the
+    cost-model sidecar uses for its own tables, scored by mtime.
+    Best-effort: a directory that disappears mid-walk is simply skipped.
+    """
+    directory = os.path.join(root, "solver_warm")
+    try:
+        names = [name for name in os.listdir(directory) if name.endswith(".json")]
+    except OSError:
+        return
+    if len(names) <= limit:
+        return
+    mtimes: Dict[str, float] = {}
+    for name in names:
+        try:
+            mtimes[name] = os.path.getmtime(os.path.join(directory, name))
+        except OSError:
+            mtimes[name] = 0.0
+    keep = prune_scored(mtimes, limit, lambda _name, mtime: mtime)
+    for name in names:
+        if name not in keep:
+            try:
+                os.unlink(os.path.join(directory, name))
+            except OSError:
+                pass
 
 
 @dataclass
@@ -245,6 +329,15 @@ class AnalysisEngine:
                 else None
             ),
         )
+        #: the persistent warm tier's cache root: pool workers rehydrate
+        #: solver-cache sidecars from ``<root>/solver_warm/`` at spawn, and
+        #: ``_finish_run`` harvests the driver's worker-lifetime caches back
+        #: into them.  None = tier disabled (no cache dir, or opted out).
+        self._warm_tier_root = (
+            self.options.cache_dir
+            if (self.options.warm_tier and self.options.cache_dir)
+            else None
+        )
         #: owns the run's persistent pool and the serial fallback (validates
         #: options.dispatch against DISPATCH_MODES); pool-lifecycle events
         #: land on the engine's logger
@@ -253,6 +346,7 @@ class AnalysisEngine:
             self.options.dispatch,
             self.events,
             cost_model=self.cost_model,
+            warm_tier_root=self._warm_tier_root,
         )
         self.cache = (
             TraceCache(self.options.cache_dir, max_entries=self.options.cache_max_entries)
@@ -279,6 +373,10 @@ class AnalysisEngine:
         stream.  Enforced here so back-to-back runs in one process can never
         bleed counters or warm solver state into each other."""
         reset_worker_caches()
+        # Arm the persistent warm tier for this process: the driver's own
+        # worker-lifetime caches (serial runs, serial fallbacks) rehydrate
+        # from the sidecars exactly like a fresh pool worker would.
+        set_warm_tier_dir(self._warm_tier_root)
         self.events.reset()
         self.events.emit(
             "run_start",
@@ -305,6 +403,19 @@ class AnalysisEngine:
         # Persist the learned cost table so the next run schedules well from
         # its first task (best-effort, no-op without a cache directory).
         self.cost_model.save()
+        # Harvest the driving process's worker-lifetime solver caches into
+        # the persistent warm tier (pool workers load the tier at spawn but
+        # their in-process entries die with the pool, so the driver's caches
+        # -- populated by serial runs and serial fallbacks, and by loading
+        # the previous sidecar -- are the harvest source).  Then cap the
+        # sidecar directory so stale fingerprints age out.
+        if self._warm_tier_root:
+            for fingerprint, cache in worker_cache_items():
+                save_warm_tier(self._warm_tier_root, fingerprint, cache)
+            _prune_warm_tier_dir(self._warm_tier_root)
+        # Disarm the process-global tier hook so non-engine solver use (e.g.
+        # classify_races_parallel) does not keep reading this run's sidecars.
+        set_warm_tier_dir(None)
         return self.last_run_stats
 
     # --------------------------------------------------------------- recording
@@ -431,16 +542,27 @@ class AnalysisEngine:
 
     # ------------------------------------------------------------ full stream
 
-    def _workload_granularity(self, distinct_races: int) -> str:
+    def _workload_granularity(
+        self, distinct_races: int, costs: Optional[Tuple[float, float]] = None
+    ) -> str:
         """The per-workload stage-3 grain under the full-stream scheduler.
 
         Same decision `_partition_misses` makes on the staged path, minus
         the ``pool_unavailable`` downgrade -- the full-stream scheduler only
-        runs while the pool is alive.
+        runs while the pool is alive.  ``costs`` is the workload's
+        ``(race_cost, split_cost)`` estimate pair, frozen at drain start so
+        mid-drain cost-model updates cannot make the choice depend on
+        completion order.
         """
         if self.options.granularity != "auto":
             return self.options.granularity
-        return choose_granularity(distinct_races, self.options.parallel or 0)
+        race_cost, split_cost = costs if costs is not None else (0.0, 0.0)
+        return choose_granularity(
+            distinct_races,
+            self.options.parallel or 0,
+            race_cost=race_cost,
+            split_cost=split_cost,
+        )
 
     def _stream_pipeline(self, workloads: Sequence[Workload]) -> Optional[List[EngineRun]]:
         """The run-wide scheduler: record, classify, plan and path futures in
@@ -552,7 +674,22 @@ class AnalysisEngine:
         partials: Dict[Tuple[int, int], List[Dict]] = {}
         decisions: List[Dict] = []
         pending: Dict[object, Tuple[str, object]] = {}
-        in_flight = {"record": 0, "classify": 0, "plan": 0, "path": 0}
+        in_flight = {"record": 0, "classify": 0, "plan": 0, "path": 0, "spec": 0}
+        # Scheduling inputs are frozen *before* the drain starts: the cost
+        # model keeps learning mid-drain (observe_output/observe_plan), and
+        # reading live estimates inside the loop would make grain choices and
+        # speculation depend on completion order -- breaking the structural
+        # bit-identity the shuffled-completion harness enforces.
+        cost_frozen = [model.split_costs(fingerprint) for fingerprint in fingerprints]
+        primary_history = (
+            model.primaries_snapshot() if self.options.speculate else None
+        )
+        #: speculative path outputs, quarantined until their plan lands
+        spec_partials: Dict[Tuple[int, int], List[Dict]] = {}
+        #: path indices speculatively submitted per (workload, race)
+        speculated: Dict[Tuple[int, int], Set[int]] = {}
+        #: (hits, wasted) per speculated race, filled by reconciliation
+        spec_counts: Dict[Tuple[int, int], Tuple[int, int]] = {}
         #: logical dispatch batches riding the already-acquired pool; the
         #: replay emits one ``pool reused`` per batch, independent of how
         #: many chunk futures the cost model happened to pack
@@ -623,7 +760,9 @@ class AnalysisEngine:
                 return
             context["trace_data"] = recording.trace.to_dict()
             context["trace_token"] = f"{os.getpid()}:{next(_TRACE_TOKENS)}"
-            grain = self._workload_granularity(len(recording.trace.races))
+            grain = self._workload_granularity(
+                len(recording.trace.races), cost_frozen[index]
+            )
             if not picklable(workload.program, context["predicates"]):
                 # The pool cannot run this workload's stage 3; defer it to
                 # the in-driver serial fallback during replay, at the grain
@@ -656,14 +795,61 @@ class AnalysisEngine:
                     )
                     pending[pool.submit(execute_plan_task, payload)] = ("plan", miss)
                     in_flight["plan"] += 1
+                    if primary_history is not None:
+                        submit_speculative(miss)
+
+        def submit_speculative(miss):
+            """Pre-submit PathTasks for the primaries history predicts.
+
+            Runs the moment the race's PlanTask is submitted -- before any
+            plan has landed -- so predicted path work overlaps the plan
+            itself.  Payloads carry no shipped primary (the plan that would
+            supply one doesn't exist yet): workers take the deterministic
+            ``explore_primary`` fallback, and an out-of-range prediction
+            comes back as a ``missing`` marker instead of an error.  Results
+            are quarantined in ``spec_partials`` until reconciliation.
+            """
+            index, race_id = miss[0], miss[1]
+            predicted = model.predict_primaries(
+                fingerprints[index], race_id, table=primary_history
+            )
+            predicted = min(predicted, _SPECULATION_CAP)
+            if predicted <= 0:
+                return
+            payloads = [
+                self._task_payload(
+                    PathTask,
+                    recordings,
+                    contexts,
+                    config_data,
+                    index,
+                    race_id,
+                    path_index=path_index,
+                    speculative=True,
+                )
+                for path_index in range(predicted)
+            ]
+            speculated[(index, race_id)] = set(range(predicted))
+            size = model.chunk_size("path", fingerprints[index], len(payloads), workers)
+            for start in range(0, len(payloads), size):
+                future = pool.submit(
+                    execute_payload_chunk,
+                    execute_path_task,
+                    payloads[start : start + size],
+                )
+                pending[future] = ("spec", (index, race_id))
+                in_flight["spec"] += 1
 
         def submit_paths(index, race_id, plan):
             nonlocal path_batches
-            payloads = list(
-                self._path_payloads(
+            skip = speculated.get((index, race_id), ())
+            payloads = [
+                payload
+                for payload in self._path_payloads(
                     recordings, contexts, config_data, index, race_id, plan
                 )
-            )
+                if payload["path_index"] not in skip
+            ]
             if not payloads:
                 return
             path_batches += 1
@@ -686,9 +872,12 @@ class AnalysisEngine:
                 open_classification(index)
         record_clock.update(
             in_flight["record"],
-            in_flight["classify"] + in_flight["plan"] + in_flight["path"],
+            in_flight["classify"]
+            + in_flight["plan"]
+            + in_flight["path"]
+            + in_flight["spec"],
         )
-        plan_clock.update(in_flight["plan"], in_flight["path"])
+        plan_clock.update(in_flight["plan"], in_flight["path"] + in_flight["spec"])
 
         while pending:
             done, _not_done = wait(set(pending), return_when=FIRST_COMPLETED)
@@ -739,8 +928,13 @@ class AnalysisEngine:
                     index, race_id, _key = ref
                     plans[(index, race_id)] = output
                     model.observe_output("plan", fingerprints[index], output)
+                    model.observe_plan(
+                        fingerprints[index],
+                        race_id,
+                        output["path_count"] if output["needs_paths"] else 0,
+                    )
                     submit_paths(index, race_id, output)
-                else:  # path chunk
+                elif kind == "path":
                     in_flight["path"] -= 1
                     (index, race_id), estimate, fingerprint = ref
                     partials.setdefault((index, race_id), []).extend(output)
@@ -756,11 +950,51 @@ class AnalysisEngine:
                             "actual_seconds": actual,
                         }
                     )
+                else:  # speculative path chunk: quarantine until its plan lands
+                    in_flight["spec"] -= 1
+                    spec_partials.setdefault(ref, []).extend(output)
                 record_clock.update(
                     in_flight["record"],
-                    in_flight["classify"] + in_flight["plan"] + in_flight["path"],
+                    in_flight["classify"]
+                    + in_flight["plan"]
+                    + in_flight["path"]
+                    + in_flight["spec"],
                 )
-                plan_clock.update(in_flight["plan"], in_flight["path"])
+                plan_clock.update(
+                    in_flight["plan"], in_flight["path"] + in_flight["spec"]
+                )
+
+        # --------------------------------------------- reconcile speculation
+        # Every plan has landed: speculative outputs whose predicted index
+        # the plan confirmed merge into the regular partials; the rest are
+        # discarded wholesale (outputs, events, cost observations -- nothing
+        # of a wasted speculation reaches the canonical stream or the model,
+        # so speculation can only change scheduling, never results).
+        for key in sorted(speculated):
+            indices = speculated[key]
+            plan = plans.get(key)
+            valid = (
+                {i for i in indices if i < plan["path_count"]}
+                if plan is not None and plan["needs_paths"]
+                else set()
+            )
+            confirmed = [
+                item
+                for item in spec_partials.get(key, ())
+                if not item.get("missing") and item["path_index"] in valid
+            ]
+            if {item["path_index"] for item in confirmed} != valid:
+                # A confirmed index must have produced a verdict: the plan
+                # counted path_count primaries and exploration is
+                # deterministic, so a hole here is a real engine bug -- fail
+                # loudly rather than merge an incomplete verdict set.
+                raise RuntimeError(
+                    f"speculative path outputs incomplete for {key}: "
+                    f"expected indices {sorted(valid)}"
+                )
+            if confirmed:
+                partials.setdefault(key, []).extend(confirmed)
+            spec_counts[key] = (len(confirmed), len(indices) - len(confirmed))
 
         # ------------------------------------------------- canonical replay
         # The drain succeeded; emit the run's events in batch order, exactly
@@ -833,6 +1067,17 @@ class AnalysisEngine:
                 partials.get((index, race_id), ()), key=lambda o: o["path_index"]
             ):
                 self.events.absorb(item.get("events"))
+        for index, race_id, _key in all_path_misses:
+            counts = spec_counts.get((index, race_id))
+            if counts is not None:
+                self.events.emit(
+                    "speculation",
+                    workload=workloads[index].name,
+                    race=race_id,
+                    predicted=len(speculated[(index, race_id)]),
+                    hits=counts[0],
+                    wasted=counts[1],
+                )
         self._merge_path_results(recordings, all_path_misses, plan_list, partials, slots)
         # Unpicklable workloads run their stage 3 in the driver, through the
         # same serial fallback (and event emission) as the staged path.
@@ -979,10 +1224,21 @@ class AnalysisEngine:
         path_misses: List[Tuple[int, int, str]] = []
         workers = self.options.parallel or 0
         shippable: Dict[int, bool] = {}
+        costs: Dict[int, Tuple[float, float]] = {}
         for miss in misses:
             index = miss[0]
             races = len(recordings[index].trace.races)
-            if choose_granularity(races, workers) == "race":
+            if index not in costs:
+                costs[index] = self.cost_model.split_costs(
+                    contexts[index]["program_fingerprint"]
+                )
+            race_cost, split_cost = costs[index]
+            if (
+                choose_granularity(
+                    races, workers, race_cost=race_cost, split_cost=split_cost
+                )
+                == "race"
+            ):
                 race_misses.append(miss)
                 continue
             if index not in shippable:
@@ -1082,6 +1338,15 @@ class AnalysisEngine:
         if plans is None:
             plans, partials = self._barrier_plan_paths(
                 recordings, contexts, misses, config_data, plan_payloads
+            )
+        # Feed the primary-count history regardless of which scheduler ran:
+        # the speculation predictor learns per-(workload, race) path counts
+        # (0 for conclusive races, so it learns *not* to speculate on them).
+        for (index, race_id, _key), plan in zip(misses, plans):
+            self.cost_model.observe_plan(
+                contexts[index]["program_fingerprint"],
+                race_id,
+                plan["path_count"] if plan["needs_paths"] else 0,
             )
         self._merge_path_results(recordings, misses, plans, partials, slots)
 

@@ -41,6 +41,10 @@ kind                         fields
                              ``actual_seconds`` -- one per chunk the
                              cost-aware scheduler packed, so mispredictions
                              are observable post-hoc via ``events-info``
+``speculation``              ``workload``, ``race``, ``predicted``, ``hits``,
+                             ``wasted`` -- one per race the streaming
+                             scheduler pre-submitted path tasks for before
+                             the plan landed
 ``events_truncated``         ``dropped`` -- per-task buffer cap was hit
 ===========================  ====================================================
 
@@ -90,6 +94,7 @@ EVENT_KINDS = (
     "pool",
     "stage_overlap",
     "scheduler_decision",
+    "speculation",
     "events_truncated",
 )
 
@@ -232,6 +237,9 @@ def fold_events(events: Iterable[Event]) -> EngineStats:
                 stats.record_classify_overlap_seconds += seconds
             else:
                 stats.stage_overlap_seconds += seconds
+        elif kind == "speculation":
+            stats.speculation_hits += int(event.get("hits", 0))
+            stats.speculation_wasted += int(event.get("wasted", 0))
         # ``scheduler_decision`` events are advisory detail (like
         # ``solver_query``): the chunks they describe already produced the
         # task events folded above, so they fold to nothing.
@@ -307,6 +315,7 @@ def summarize_events(events: Sequence[Event]) -> Dict[str, object]:
     cache_totals: Dict[str, Dict[str, int]] = {}
     backends: Dict[str, Dict[str, float]] = {}
     decisions: Dict[str, Dict[str, float]] = {}
+    speculation = {"races": 0, "predicted": 0, "hits": 0, "wasted": 0}
     for event in events:
         kind = str(event.get("kind"))
         by_kind[kind] = by_kind.get(kind, 0) + 1
@@ -334,6 +343,11 @@ def summarize_events(events: Sequence[Event]) -> Dict[str, object]:
             tier = str(event.get("tier", "?"))
             entry = cache_totals.setdefault(tier, {"hits": 0, "misses": 0})
             entry["hits" if event.get("hit") else "misses"] += 1
+        elif kind == "speculation":
+            speculation["races"] += 1
+            speculation["predicted"] += int(event.get("predicted", 0))
+            speculation["hits"] += int(event.get("hits", 0))
+            speculation["wasted"] += int(event.get("wasted", 0))
         elif kind == "solver_stats":
             backend = str(event.get("backend", "default"))
             entry = backends.setdefault(
@@ -369,6 +383,8 @@ def summarize_events(events: Sequence[Event]) -> Dict[str, object]:
         }
         for tier, entry in sorted(cache_totals.items())
     }
+    attempts = speculation["hits"] + speculation["wasted"]
+    speculation["waste_ratio"] = speculation["wasted"] / attempts if attempts else 0.0
     return {
         "events": len(events),
         "by_kind": dict(sorted(by_kind.items())),
@@ -377,6 +393,7 @@ def summarize_events(events: Sequence[Event]) -> Dict[str, object]:
         "cache_rates": cache_rates,
         "solver_backends": dict(sorted(backends.items())),
         "scheduler_decisions": dict(sorted(decisions.items())),
+        "speculation": speculation,
     }
 
 
@@ -413,6 +430,17 @@ def render_events_info(events: Sequence[Event]) -> str:
         )
     if not summary["scheduler_decisions"]:
         lines.append("  (no scheduler_decision events)")
+    lines.append("")
+    lines.append("speculation:")
+    speculation = summary["speculation"]
+    if speculation["races"]:
+        lines.append(
+            f"  races={speculation['races']} predicted={speculation['predicted']} "
+            f"hits={speculation['hits']} wasted={speculation['wasted']} "
+            f"waste_ratio={speculation['waste_ratio']:.1%}"
+        )
+    else:
+        lines.append("  (no speculation events)")
     lines.append("")
     lines.append("cache hit rates:")
     for tier, data in summary["cache_rates"].items():

@@ -67,6 +67,11 @@ class EngineStats:
     #: (classify/plan/path) futures were simultaneously in flight -- the
     #: full-stream scheduler's record↔classify overlap channel
     record_classify_overlap_seconds: float = 0.0
+    #: speculative path tasks whose predicted index the landed plan
+    #: confirmed (their results merged normally)
+    speculation_hits: int = 0
+    #: speculative path tasks the landed plan disavowed (discarded)
+    speculation_wasted: int = 0
 
     def reset(self) -> None:
         self.traces_recorded = 0
@@ -86,6 +91,8 @@ class EngineStats:
         self.pool_reuses = 0
         self.stage_overlap_seconds = 0.0
         self.record_classify_overlap_seconds = 0.0
+        self.speculation_hits = 0
+        self.speculation_wasted = 0
 
     def merge(self, other: "EngineStats") -> None:
         """Add another stats view into this one (used to fold a finished
@@ -107,6 +114,8 @@ class EngineStats:
         self.pool_reuses += other.pool_reuses
         self.stage_overlap_seconds += other.stage_overlap_seconds
         self.record_classify_overlap_seconds += other.record_classify_overlap_seconds
+        self.speculation_hits += other.speculation_hits
+        self.speculation_wasted += other.speculation_wasted
 
     def absorb_solver(self, payload) -> None:
         """Fold one task's solver-counter snapshot into the aggregate.
@@ -145,7 +154,9 @@ class EngineStats:
             f"pool reuses={self.pool_reuses}, "
             f"stage overlap seconds={self.stage_overlap_seconds:.2f}, "
             f"record/classify overlap seconds="
-            f"{self.record_classify_overlap_seconds:.2f}"
+            f"{self.record_classify_overlap_seconds:.2f}, "
+            f"speculation hits={self.speculation_hits}, "
+            f"speculation wasted={self.speculation_wasted}"
         )
 
 

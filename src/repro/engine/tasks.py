@@ -212,17 +212,24 @@ def _finish_task(
     return snapshot, events.drain()
 
 
-def pool_worker_initializer() -> None:
+def pool_worker_initializer(warm_tier_root: Optional[str] = None) -> None:
     """Runs once in each fresh pool worker process.
 
     Installs clean worker-lifetime state: the solver memos of
     :mod:`repro.symex.solver` and this module's trace memo both start empty,
     so nothing leaks between engine runs that happen to recycle a worker
     (``fork`` start methods inherit the parent's module state).
+
+    When the engine armed the persistent warm tier, ``warm_tier_root`` names
+    the cache directory whose ``solver_warm/`` sidecars this worker should
+    rehydrate on first use of each program's cache -- the cross-run warmth
+    that makes a freshly forked process answer repeat constraint sets
+    without enumerating.
     """
-    from repro.symex.solver import reset_worker_caches
+    from repro.symex.solver import reset_worker_caches, set_warm_tier_dir
 
     reset_worker_caches()
+    set_warm_tier_dir(warm_tier_root)
     _TRACE_MEMO.clear()
 
 
@@ -424,12 +431,20 @@ class PathTask(ClassificationTask):
 
     path_index: int = 0
     primary: Optional[Dict] = None
+    #: True for tasks the streaming scheduler pre-submitted before the
+    #: race's plan landed.  A speculative task has no shipped primary (the
+    #: plan that would ship one hasn't returned), and its ``path_index``
+    #: may turn out not to exist -- it then returns a ``missing`` marker
+    #: instead of raising, and the driver discards it as a misprediction.
+    speculative: bool = False
 
     def to_payload(self) -> Dict:
         payload = super().to_payload()
         payload["path_index"] = self.path_index
         if self.primary is not None:
             payload["primary"] = self.primary
+        if self.speculative:
+            payload["speculative"] = True
         return payload
 
     @classmethod
@@ -439,6 +454,7 @@ class PathTask(ClassificationTask):
             base,
             path_index=payload["path_index"],
             primary=payload.get("primary"),
+            speculative=bool(payload.get("speculative", False)),
         )
 
 
@@ -471,6 +487,30 @@ def execute_path_task(payload: Mapping) -> Dict:
             portend.executor, portend.program, trace, race, config, task.path_index
         )
         if path is None:
+            if task.speculative:
+                # A speculative index beyond the race's actual path count is
+                # an expected misprediction, not a correctness bug: report it
+                # as missing and let the driver discard and recount it.
+                seconds = time.perf_counter() - started
+                snapshot, event_list = _finish_task(
+                    events,
+                    "path",
+                    task.workload,
+                    started,
+                    portend,
+                    race=task.race_id,
+                    path=task.path_index,
+                )
+                return {
+                    "race_id": task.race_id,
+                    "path_index": task.path_index,
+                    "missing": True,
+                    "verdict": None,
+                    "reexplored": True,
+                    "seconds": seconds,
+                    "solver": snapshot,
+                    "events": event_list,
+                }
             # Deterministic exploration makes the plan's path count binding; a
             # disagreement means non-determinism crept in -- fail loudly rather
             # than silently dropping a primary path from the verdict.

@@ -44,7 +44,8 @@ def main(argv=None) -> int:
         "experiment",
         choices=sorted(_EXPERIMENTS) + ["all", "cache-info", "events-info"],
         help="which table/figure to regenerate, 'cache-info' to dump "
-        "per-entry age and hit counts of a --cache-dir, or 'events-info' to "
+        "per-entry age and hit counts of a --cache-dir (including the "
+        "costmodel.json and solver_warm/ sidecar tiers), or 'events-info' to "
         "summarize a structured event log written via --events",
     )
     parser.add_argument(
@@ -95,6 +96,26 @@ def main(argv=None) -> int:
         help="per-chunk wall-clock target for the cost-aware scheduler: wide "
         "task queues are packed into chunks estimated to run roughly this "
         "long (default 500; see the costmodel.json sidecar in --cache-dir)",
+    )
+    parser.add_argument(
+        "--warm-tier",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        dest="warm_tier",
+        help="persist the hottest worker-lifetime solver-cache entries to "
+        "solver_warm/ sidecars in --cache-dir and rehydrate them into fresh "
+        "worker processes, so cold processes start warm (advisory: verdicts "
+        "are bit-identical either way).  Default: the REPRO_WARM_TIER "
+        "environment variable, else on; requires --cache-dir to take effect",
+    )
+    parser.add_argument(
+        "--speculate",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="pre-submit path tasks for the primary count the cost model's "
+        "history predicts, before each race's plan lands (full-stream "
+        "scheduler only; changes scheduling, never verdicts).  Default: the "
+        "REPRO_SPECULATE environment variable, else off",
     )
     parser.add_argument(
         "--solver",
@@ -184,6 +205,8 @@ def main(argv=None) -> int:
             solver=args.solver,
             events=args.events,
             chunk_target_ms=args.chunk_target_ms,
+            warm_tier=args.warm_tier,
+            speculate=args.speculate,
         )
 
     for name in names:
@@ -199,6 +222,8 @@ def main(argv=None) -> int:
                 solver=args.solver,
                 events=args.events,
                 chunk_target_ms=args.chunk_target_ms,
+                warm_tier=args.warm_tier,
+                speculate=args.speculate,
                 **kwargs,
             )
         else:

@@ -31,6 +31,8 @@ def run(
     solver: Optional[str] = None,
     events: Optional[str] = None,
     chunk_target_ms: int = 500,
+    warm_tier: Optional[bool] = None,
+    speculate: Optional[bool] = None,
 ) -> Fig10Result:
     base = base_config or PortendConfig()
     result = Fig10Result()
@@ -49,6 +51,8 @@ def run(
                 solver=solver,
                 events=events,
                 chunk_target_ms=chunk_target_ms,
+                warm_tier=warm_tier,
+                speculate=speculate,
             )
             score = score_workload(workload, run_.result.classified)
             result.accuracy[name][k] = score.accuracy

@@ -59,9 +59,19 @@ def _engine(
     solver: Optional[str] = None,
     events: Optional[str] = None,
     chunk_target_ms: int = 500,
+    warm_tier: Optional[bool] = None,
+    speculate: Optional[bool] = None,
 ) -> AnalysisEngine:
     if solver is not None:
         config = replace(config or PortendConfig(), solver_backend=solver)
+    # warm_tier/speculate stay tri-state: None defers to the EngineOptions
+    # environment defaults (REPRO_WARM_TIER / REPRO_SPECULATE), an explicit
+    # bool (e.g. from the --warm-tier/--speculate CLI flags) wins over them.
+    extra = {}
+    if warm_tier is not None:
+        extra["warm_tier"] = warm_tier
+    if speculate is not None:
+        extra["speculate"] = speculate
     return AnalysisEngine(
         config=config,
         options=EngineOptions(
@@ -73,6 +83,7 @@ def _engine(
             dispatch=dispatch,
             events_path=events,
             chunk_target_ms=chunk_target_ms,
+            **extra,
         ),
     )
 
@@ -113,11 +124,14 @@ def analyze_workload(
     solver: Optional[str] = None,
     events: Optional[str] = None,
     chunk_target_ms: int = 500,
+    warm_tier: Optional[bool] = None,
+    speculate: Optional[bool] = None,
 ) -> WorkloadRun:
     """Run detection + classification for one workload."""
     engine = _engine(
         config, use_semantic_predicates, parallel, cache_dir, granularity,
         cache_max_entries, dispatch, solver, events, chunk_target_ms,
+        warm_tier, speculate,
     )
     engine_runs = engine.analyze_workloads([workload])
     return _wrap_runs(engine, engine_runs, use_semantic_predicates, measure_plain_time)[0]
@@ -137,6 +151,8 @@ def analyze_all(
     solver: Optional[str] = None,
     events: Optional[str] = None,
     chunk_target_ms: int = 500,
+    warm_tier: Optional[bool] = None,
+    speculate: Optional[bool] = None,
 ) -> List[WorkloadRun]:
     """Run Portend over a set of workloads (default: the full Table 1 list).
 
@@ -150,7 +166,9 @@ def analyze_all(
     config's solver backend (see :mod:`repro.symex.factory`); ``events``
     appends the run's structured event stream to a JSON-lines file;
     ``chunk_target_ms`` sets the cost-aware scheduler's per-chunk
-    wall-clock target.
+    wall-clock target; ``warm_tier``/``speculate`` toggle the persistent
+    solver warm tier and speculative path submission (None defers to the
+    ``REPRO_WARM_TIER``/``REPRO_SPECULATE`` environment defaults).
     """
     if names is None:
         workloads = all_workloads(include_micro=include_micro)
@@ -159,6 +177,7 @@ def analyze_all(
     engine = _engine(
         config, use_semantic_predicates, parallel, cache_dir, granularity,
         cache_max_entries, dispatch, solver, events, chunk_target_ms,
+        warm_tier, speculate,
     )
     engine_runs = engine.analyze_workloads(workloads)
     return _wrap_runs(engine, engine_runs, use_semantic_predicates, measure_plain_time)

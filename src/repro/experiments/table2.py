@@ -48,6 +48,8 @@ def run(
     solver: Optional[str] = None,
     events: Optional[str] = None,
     chunk_target_ms: int = 500,
+    warm_tier: Optional[bool] = None,
+    speculate: Optional[bool] = None,
 ) -> List[Table2Row]:
     config = config or PortendConfig()
     rows: List[Table2Row] = []
@@ -68,6 +70,8 @@ def run(
             solver=solver,
             events=events,
             chunk_target_ms=chunk_target_ms,
+            warm_tier=warm_tier,
+            speculate=speculate,
         )
         classified = run_result.result.classified
         rows.append(
@@ -95,6 +99,8 @@ def run(
         solver=solver,
         events=events,
         chunk_target_ms=chunk_target_ms,
+        warm_tier=warm_tier,
+        speculate=speculate,
     )
     rows.insert(
         3,

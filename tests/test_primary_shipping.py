@@ -296,7 +296,11 @@ class TestCacheLifecycle:
         AnalysisEngine(options=EngineOptions(cache_dir=str(tmp_path))).analyze(["RW"])
         rows = collect_cache_info(tmp_path)
         kinds = {row["kind"] for row in rows}
-        assert kinds == {"trace", "classification"}
+        # Both result layers plus the two advisory sidecar tiers an engine
+        # run persists (costmodel.json always; solver_warm/ whenever the
+        # run's worker caches held entries worth saving).
+        assert {"trace", "classification", "costmodel"} <= kinds
+        assert kinds <= {"trace", "classification", "costmodel", "solver_warm"}
 
     def test_cache_info_cli(self, tmp_path, capsys):
         from repro.experiments.__main__ import main
