@@ -114,11 +114,19 @@ class Portend:
             from repro.symex.factory import create_solver
 
             solver = create_solver(self.config)
-        self.executor = executor or Executor(
-            self.program,
-            config=ExecutorConfig(max_steps=self.config.max_steps_per_execution),
-            solver=solver,
-        )
+        if executor is None:
+            # Build the interpreter kernel the config names (tree or
+            # compiled); both are bit-identical, so this is a pure
+            # performance knob.
+            from repro.runtime.compile import create_executor
+
+            executor = create_executor(
+                self.program,
+                interp=self.config.interp,
+                config=ExecutorConfig(max_steps=self.config.max_steps_per_execution),
+                solver=solver,
+            )
+        self.executor = executor
         self.detector_ignore_mutexes = detector_ignore_mutexes
 
     # -------------------------------------------------------------- detection

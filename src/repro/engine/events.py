@@ -33,6 +33,10 @@ kind                         fields
                              ``worker_hit``, ``seconds`` (worker, per query)
 ``solver_stats``             ``backend`` + a ``SolverStats.to_dict()`` snapshot
                              (one per task, the aggregate of its queries)
+``interp_stats``             ``interp`` (kernel name) + the executor's
+                             ``InterpCounters.to_dict()`` snapshot
+                             (``statements``, ``forks``, ``cow_copies``;
+                             one per task)
 ``pool``                     ``action`` (created/reused)
 ``stage_overlap``            ``seconds``, ``channel`` (``plan_path`` when
                              absent; ``record_classify`` for the full-stream
@@ -91,6 +95,7 @@ EVENT_KINDS = (
     "primary",
     "solver_query",
     "solver_stats",
+    "interp_stats",
     "pool",
     "stage_overlap",
     "scheduler_decision",
@@ -226,6 +231,8 @@ def fold_events(events: Iterable[Event]) -> EngineStats:
             # The per-task aggregate; per-query ``solver_query`` events are
             # detail for histograms and must not be folded on top.
             stats.absorb_solver(event)
+        elif kind == "interp_stats":
+            stats.absorb_interp(event)
         elif kind == "pool":
             if event.get("action") == "created":
                 stats.pools_created += 1
@@ -314,6 +321,7 @@ def summarize_events(events: Sequence[Event]) -> Dict[str, object]:
     stage_latencies: Dict[str, List[float]] = {}
     cache_totals: Dict[str, Dict[str, int]] = {}
     backends: Dict[str, Dict[str, float]] = {}
+    interpreters: Dict[str, Dict[str, int]] = {}
     decisions: Dict[str, Dict[str, float]] = {}
     speculation = {"races": 0, "predicted": 0, "hits": 0, "wasted": 0}
     for event in events:
@@ -358,6 +366,16 @@ def summarize_events(events: Sequence[Event]) -> Dict[str, object]:
             entry["seconds"] += float(event.get("seconds", 0.0))
             entry["enumerated"] += int(event.get("enumerated_assignments", 0))
             entry["fastpath"] += int(event.get("fastpath_answers", 0))
+        elif kind == "interp_stats":
+            interp = str(event.get("interp", "tree"))
+            entry = interpreters.setdefault(
+                interp,
+                {"tasks": 0, "statements": 0, "forks": 0, "cow_copies": 0},
+            )
+            entry["tasks"] += 1
+            entry["statements"] += int(event.get("statements", 0))
+            entry["forks"] += int(event.get("forks", 0))
+            entry["cow_copies"] += int(event.get("cow_copies", 0))
     histograms = {
         stage: {
             "count": len(latencies),
@@ -392,6 +410,7 @@ def summarize_events(events: Sequence[Event]) -> Dict[str, object]:
         "stage_latency": histograms,
         "cache_rates": cache_rates,
         "solver_backends": dict(sorted(backends.items())),
+        "interpreters": dict(sorted(interpreters.items())),
         "scheduler_decisions": dict(sorted(decisions.items())),
         "speculation": speculation,
     }
@@ -461,6 +480,17 @@ def render_events_info(events: Sequence[Event]) -> str:
         )
     if not summary["solver_backends"]:
         lines.append("  (no solver_stats events)")
+    lines.append("")
+    lines.append("interpreter counters by kernel:")
+    for interp, data in summary["interpreters"].items():
+        lines.append(
+            f"  {interp}: tasks={data['tasks']} "
+            f"statements={data['statements']} "
+            f"forks={data['forks']} "
+            f"cow_copies={data['cow_copies']}"
+        )
+    if not summary["interpreters"]:
+        lines.append("  (no interp_stats events)")
     lines.append("")
     lines.append(summary["stats"])
     return "\n".join(lines)

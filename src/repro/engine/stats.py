@@ -72,6 +72,13 @@ class EngineStats:
     speculation_hits: int = 0
     #: speculative path tasks the landed plan disavowed (discarded)
     speculation_wasted: int = 0
+    #: interpreter statements executed by dispatched tasks (aggregated)
+    interp_statements: int = 0
+    #: symbolic-branch state forks taken by the interpreter
+    interp_forks: int = 0
+    #: copy-on-write materializations (containers/threads/frames copied on
+    #: first write after a fork)
+    interp_cow_copies: int = 0
 
     def reset(self) -> None:
         self.traces_recorded = 0
@@ -93,6 +100,9 @@ class EngineStats:
         self.record_classify_overlap_seconds = 0.0
         self.speculation_hits = 0
         self.speculation_wasted = 0
+        self.interp_statements = 0
+        self.interp_forks = 0
+        self.interp_cow_copies = 0
 
     def merge(self, other: "EngineStats") -> None:
         """Add another stats view into this one (used to fold a finished
@@ -116,6 +126,9 @@ class EngineStats:
         self.record_classify_overlap_seconds += other.record_classify_overlap_seconds
         self.speculation_hits += other.speculation_hits
         self.speculation_wasted += other.speculation_wasted
+        self.interp_statements += other.interp_statements
+        self.interp_forks += other.interp_forks
+        self.interp_cow_copies += other.interp_cow_copies
 
     def absorb_solver(self, payload) -> None:
         """Fold one task's solver-counter snapshot into the aggregate.
@@ -135,6 +148,19 @@ class EngineStats:
         self.worker_cache_hits += payload.get("worker_cache_hits", 0)
         self.solver_fastpath_answers += payload.get("fastpath_answers", 0)
         self.solver_seconds += payload.get("seconds", 0.0)
+
+    def absorb_interp(self, payload) -> None:
+        """Fold one task's interpreter-counter snapshot into the aggregate.
+
+        Task results carry ``InterpCounters.to_dict()`` snapshots (each task
+        builds one fresh executor, so the snapshot is the task's delta),
+        emitted as ``interp_stats`` events next to the solver snapshots.
+        """
+        if not payload:
+            return
+        self.interp_statements += payload.get("statements", 0)
+        self.interp_forks += payload.get("forks", 0)
+        self.interp_cow_copies += payload.get("cow_copies", 0)
 
     def summary(self) -> str:
         return (
@@ -156,7 +182,10 @@ class EngineStats:
             f"record/classify overlap seconds="
             f"{self.record_classify_overlap_seconds:.2f}, "
             f"speculation hits={self.speculation_hits}, "
-            f"speculation wasted={self.speculation_wasted}"
+            f"speculation wasted={self.speculation_wasted}, "
+            f"interp statements={self.interp_statements}, "
+            f"interp forks={self.interp_forks}, "
+            f"interp cow copies={self.interp_cow_copies}"
         )
 
 

@@ -202,6 +202,11 @@ def _finish_task(
         events.emit(
             "solver_stats", backend=portend.executor.solver.backend, **snapshot
         )
+        events.emit(
+            "interp_stats",
+            interp=portend.executor.interp,
+            **portend.executor.counters.to_dict(),
+        )
     events.emit(
         "task_finish",
         stage=stage,
@@ -226,10 +231,12 @@ def pool_worker_initializer(warm_tier_root: Optional[str] = None) -> None:
     that makes a freshly forked process answer repeat constraint sets
     without enumerating.
     """
+    from repro.runtime.compile import reset_compiled_cache
     from repro.symex.solver import reset_worker_caches, set_warm_tier_dir
 
     reset_worker_caches()
     set_warm_tier_dir(warm_tier_root)
+    reset_compiled_cache()
     _TRACE_MEMO.clear()
 
 
@@ -336,6 +343,7 @@ def execute_record_task(payload: Mapping) -> Dict:
         program,
         concrete_inputs=dict(task.inputs),
         max_steps=config.max_steps_per_execution,
+        interp=config.interp,
     )
     _, event_list = _finish_task(events, "record", task.workload, started)
     return {

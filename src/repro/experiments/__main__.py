@@ -42,11 +42,19 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "cache-info", "events-info"],
+        choices=sorted(_EXPERIMENTS) + ["all", "cache-info", "events-info", "profile"],
         help="which table/figure to regenerate, 'cache-info' to dump "
         "per-entry age and hit counts of a --cache-dir (including the "
-        "costmodel.json and solver_warm/ sidecar tiers), or 'events-info' to "
-        "summarize a structured event log written via --events",
+        "costmodel.json and solver_warm/ sidecar tiers), 'events-info' to "
+        "summarize a structured event log written via --events, or "
+        "'profile' to run one workload's analysis under cProfile",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        metavar="WORKLOAD",
+        help="workload name for the 'profile' experiment (e.g. 'bbuf')",
     )
     parser.add_argument(
         "--parallel",
@@ -127,6 +135,23 @@ def main(argv=None) -> int:
         "Defaults to the REPRO_SOLVER environment variable, else 'default'",
     )
     parser.add_argument(
+        "--interp",
+        default=None,
+        metavar="KERNEL",
+        help="interpreter kernel for every analysis: 'tree' (the walking "
+        "interpreter) or 'compiled' (per-statement handler closures compiled "
+        "once per program); kernels are verdict-bit-identical.  Defaults to "
+        "the REPRO_INTERP environment variable, else 'tree'",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="how many functions the 'profile' experiment prints (by "
+        "cumulative time; default 25)",
+    )
+    parser.add_argument(
         "--events",
         default=None,
         metavar="PATH",
@@ -175,6 +200,26 @@ def main(argv=None) -> int:
                 f"choose from {', '.join(solver_backends())}"
             )
 
+    if args.interp is not None:
+        from repro.runtime.compile import INTERP_MODES
+
+        if args.interp not in INTERP_MODES:
+            parser.error(
+                f"unknown interpreter {args.interp!r}; "
+                f"choose from {', '.join(INTERP_MODES)}"
+            )
+
+    if args.experiment == "profile":
+        if not args.target:
+            parser.error("profile requires a workload name (e.g. 'profile bbuf')")
+        from repro.experiments.profile import render_profile, run_profile
+
+        report = run_profile(
+            args.target, top=args.profile_top, interp=args.interp
+        )
+        print(render_profile(report))
+        return 0
+
     if args.events:
         # Engine runs append; start each invocation from an empty log.
         open(args.events, "w", encoding="utf-8").close()
@@ -207,6 +252,7 @@ def main(argv=None) -> int:
             chunk_target_ms=args.chunk_target_ms,
             warm_tier=args.warm_tier,
             speculate=args.speculate,
+            interp=args.interp,
         )
 
     for name in names:
@@ -224,6 +270,7 @@ def main(argv=None) -> int:
                 chunk_target_ms=args.chunk_target_ms,
                 warm_tier=args.warm_tier,
                 speculate=args.speculate,
+                interp=args.interp,
                 **kwargs,
             )
         else:

@@ -33,6 +33,7 @@ def run(
     chunk_target_ms: int = 500,
     warm_tier: Optional[bool] = None,
     speculate: Optional[bool] = None,
+    interp: Optional[str] = None,
 ) -> Fig10Result:
     base = base_config or PortendConfig()
     result = Fig10Result()
@@ -53,6 +54,7 @@ def run(
                 chunk_target_ms=chunk_target_ms,
                 warm_tier=warm_tier,
                 speculate=speculate,
+                interp=interp,
             )
             score = score_workload(workload, run_.result.classified)
             result.accuracy[name][k] = score.accuracy

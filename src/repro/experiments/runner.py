@@ -61,9 +61,12 @@ def _engine(
     chunk_target_ms: int = 500,
     warm_tier: Optional[bool] = None,
     speculate: Optional[bool] = None,
+    interp: Optional[str] = None,
 ) -> AnalysisEngine:
     if solver is not None:
         config = replace(config or PortendConfig(), solver_backend=solver)
+    if interp is not None:
+        config = replace(config or PortendConfig(), interp=interp)
     # warm_tier/speculate stay tri-state: None defers to the EngineOptions
     # environment defaults (REPRO_WARM_TIER / REPRO_SPECULATE), an explicit
     # bool (e.g. from the --warm-tier/--speculate CLI flags) wins over them.
@@ -126,12 +129,13 @@ def analyze_workload(
     chunk_target_ms: int = 500,
     warm_tier: Optional[bool] = None,
     speculate: Optional[bool] = None,
+    interp: Optional[str] = None,
 ) -> WorkloadRun:
     """Run detection + classification for one workload."""
     engine = _engine(
         config, use_semantic_predicates, parallel, cache_dir, granularity,
         cache_max_entries, dispatch, solver, events, chunk_target_ms,
-        warm_tier, speculate,
+        warm_tier, speculate, interp,
     )
     engine_runs = engine.analyze_workloads([workload])
     return _wrap_runs(engine, engine_runs, use_semantic_predicates, measure_plain_time)[0]
@@ -153,6 +157,7 @@ def analyze_all(
     chunk_target_ms: int = 500,
     warm_tier: Optional[bool] = None,
     speculate: Optional[bool] = None,
+    interp: Optional[str] = None,
 ) -> List[WorkloadRun]:
     """Run Portend over a set of workloads (default: the full Table 1 list).
 
@@ -168,7 +173,9 @@ def analyze_all(
     ``chunk_target_ms`` sets the cost-aware scheduler's per-chunk
     wall-clock target; ``warm_tier``/``speculate`` toggle the persistent
     solver warm tier and speculative path submission (None defers to the
-    ``REPRO_WARM_TIER``/``REPRO_SPECULATE`` environment defaults).
+    ``REPRO_WARM_TIER``/``REPRO_SPECULATE`` environment defaults);
+    ``interp`` overrides the config's interpreter kernel (see
+    :mod:`repro.runtime.compile`; kernels are bit-identical by contract).
     """
     if names is None:
         workloads = all_workloads(include_micro=include_micro)
@@ -177,7 +184,7 @@ def analyze_all(
     engine = _engine(
         config, use_semantic_predicates, parallel, cache_dir, granularity,
         cache_max_entries, dispatch, solver, events, chunk_target_ms,
-        warm_tier, speculate,
+        warm_tier, speculate, interp,
     )
     engine_runs = engine.analyze_workloads(workloads)
     return _wrap_runs(engine, engine_runs, use_semantic_predicates, measure_plain_time)

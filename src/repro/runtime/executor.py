@@ -28,6 +28,7 @@ from repro.runtime.errors import (
     ProgramCrash,
     RetrySignal,
 )
+from repro.runtime.counters import InterpCounters
 from repro.runtime.listeners import (
     ExecutionListener,
     ListenerGroup,
@@ -129,6 +130,9 @@ StopPredicate = Callable[[ExecutionState, int, ast.Stmt], bool]
 class Executor:
     """Interprets programs and exposes stepping, running and forking."""
 
+    #: interpreter kernel name; the compiled subclass overrides this
+    interp = "tree"
+
     def __init__(
         self,
         program: Program,
@@ -140,6 +144,7 @@ class Executor:
         self.program = program
         self.config = config or ExecutorConfig()
         self.solver = solver or Solver(self.config.solver_max_assignments)
+        self.counters = InterpCounters()
 
     # ------------------------------------------------------------------ setup
 
@@ -155,6 +160,7 @@ class Executor:
         (multi-path analysis, §3.3).
         """
         state = ExecutionState(self.program)
+        state.attach_counters(self.counters)
         state.concrete_inputs = dict(concrete_inputs or {})
         state.symbolic_input_names = frozenset(symbolic_inputs)
         entry = self.program.entry
@@ -212,7 +218,7 @@ class Executor:
 
             thread = state.thread(tid)
             if thread.pending_reacquire is not None:
-                self._attempt_reacquire(state, thread, group)
+                self._attempt_reacquire(state, state.thread_mut(tid), group)
                 steps += 1
                 last_watched = None
                 continue
@@ -221,7 +227,7 @@ class Executor:
             if stmt is None:
                 # Nothing to execute (thread just finished); normalisation
                 # already flipped its status, loop around for a new decision.
-                self._finish_thread(state, thread, group)
+                self._finish_thread(state, state.thread_mut(tid), group)
                 continue
 
             if stop_before is not None and stop_before(state, tid, stmt):
@@ -245,13 +251,16 @@ class Executor:
         watched_pcs: FrozenSet[int],
         last_watched: Optional[int],
     ) -> Optional[int]:
-        runnable = state.runnable_tids()
-        if not runnable:
-            return None
         current = state.current_tid
         reason = self._preemption_reason(state, current, watched_pcs, last_watched)
         if reason is None:
+            # The current thread stays scheduled -- it is runnable (that is
+            # what ``reason is None`` means), so the O(threads) runnable scan
+            # below can be skipped entirely on the steady-state fast path.
             return current
+        runnable = state.runnable_tids()
+        if not runnable:
+            return None
 
         chosen = policy.choose(state, runnable, current, reason)
         if chosen is None:
@@ -312,14 +321,15 @@ class Executor:
         listeners: ListenerGroup,
     ) -> List[ExecutionState]:
         """Execute one step of thread ``tid``; return any forked states."""
-        thread = state.thread(tid)
-        frame = thread.current_frame()
-        assert frame is not None and frame.control, "thread has nothing to execute"
+        thread = state.thread_mut(tid)
+        assert thread.frames and thread.frames[-1].control, "thread has nothing to execute"
+        frame = state.frame_mut(tid)
         top = frame.control[-1]
         forks: List[ExecutionState] = []
 
         state.step_count += 1
         thread.steps += 1
+        state.counters.statements += 1
 
         try:
             if isinstance(top, LoopEntry):
@@ -337,7 +347,7 @@ class Executor:
 
         listeners.on_step(state, tid, stmt.pc)
         if state.outcome is None:
-            self._normalize(state, state.thread(tid), listeners)
+            self._normalize(state, tid, listeners)
         return forks
 
     def _step_loop(
@@ -357,8 +367,7 @@ class Executor:
         stmt = entry.stmt
         cond = self._eval(state, tid, stmt.cond, stmt, listeners)
         if not is_symbolic(cond):
-            thread = state.thread(tid)
-            frame = thread.current_frame()
+            frame = state.frame_mut(tid)
             if cond != 0:
                 frame.control.append(BlockEntry(stmt.body, 0))
             else:
@@ -374,8 +383,8 @@ class Executor:
 
     @staticmethod
     def _loop_take(state: ExecutionState, tid: int, stmt: ast.While, take: bool) -> None:
-        frame = state.thread(tid).current_frame()
-        assert frame is not None and frame.control
+        frame = state.frame_mut(tid)
+        assert frame.control
         top = frame.control[-1]
         assert isinstance(top, LoopEntry) and top.stmt is stmt
         if take:
@@ -397,8 +406,7 @@ class Executor:
         elif isinstance(stmt, ast.If):
             return self._exec_if(state, tid, stmt, listeners)
         elif isinstance(stmt, ast.While):
-            frame = state.thread(tid).current_frame()
-            frame.control.append(LoopEntry(stmt))
+            state.frame_mut(tid).control.append(LoopEntry(stmt))
         elif isinstance(stmt, ast.Lock):
             self._exec_lock(state, tid, stmt, listeners)
         elif isinstance(stmt, ast.Unlock):
@@ -454,8 +462,7 @@ class Executor:
         if not is_symbolic(cond):
             branch = stmt.then_body if cond != 0 else stmt.else_body
             if branch:
-                frame = state.thread(tid).current_frame()
-                frame.control.append(BlockEntry(branch, 0))
+                state.frame_mut(tid).control.append(BlockEntry(branch, 0))
             return []
         return self._fork_branch(
             state,
@@ -468,12 +475,11 @@ class Executor:
     @staticmethod
     def _enter_branch(state: ExecutionState, tid: int, body: Tuple[ast.Stmt, ...]) -> None:
         if body:
-            frame = state.thread(tid).current_frame()
-            frame.control.append(BlockEntry(body, 0))
+            state.frame_mut(tid).control.append(BlockEntry(body, 0))
 
     def _exec_lock(self, state, tid, stmt: ast.Lock, listeners) -> None:
-        mutex = state.sync.mutex(stmt.mutex)
-        thread = state.thread(tid)
+        mutex = state.sync.mutex_mut(stmt.mutex)
+        thread = state.thread_mut(tid)
         if mutex.owner is None:
             mutex.owner = tid
             if tid in mutex.waiters:
@@ -495,8 +501,8 @@ class Executor:
         raise RetrySignal()
 
     def _exec_unlock(self, state, tid, stmt: ast.Unlock, listeners) -> None:
-        mutex = state.sync.mutex(stmt.mutex)
-        thread = state.thread(tid)
+        mutex = state.sync.mutex_mut(stmt.mutex)
+        thread = state.thread_mut(tid)
         if mutex.owner != tid:
             raise ProgramCrash(
                 CrashKind.INVALID_SYNC,
@@ -511,18 +517,19 @@ class Executor:
         )
 
     def _wake_mutex_waiters(self, state: ExecutionState, mutex_name: str) -> None:
-        for other in state.threads.values():
+        for other_tid, other in list(state.threads.items()):
             if not other.is_blocked or other.blocked_on is None:
                 continue
             kind, target = other.blocked_on
             if target == mutex_name and kind in ("mutex", "mutex-reacquire"):
+                other = state.thread_mut(other_tid)
                 other.status = ThreadStatus.RUNNABLE
                 other.blocked_on = None
 
     def _exec_cond_wait(self, state, tid, stmt: ast.CondWait, listeners) -> None:
-        mutex = state.sync.mutex(stmt.mutex)
-        condvar = state.sync.condvar(stmt.cond)
-        thread = state.thread(tid)
+        mutex = state.sync.mutex_mut(stmt.mutex)
+        condvar = state.sync.condvar_mut(stmt.cond)
+        thread = state.thread_mut(tid)
         if mutex.owner != tid:
             raise ProgramCrash(
                 CrashKind.INVALID_SYNC,
@@ -548,9 +555,11 @@ class Executor:
     def _exec_cond_signal(self, state, tid, stmt, listeners, broadcast: bool) -> None:
         condvar = state.sync.condvar(stmt.cond)
         to_wake = list(condvar.waiters) if broadcast else list(condvar.waiters[:1])
+        if to_wake:
+            condvar = state.sync.condvar_mut(stmt.cond)
         for waiter_tid in to_wake:
             condvar.waiters.remove(waiter_tid)
-            waiter = state.thread(waiter_tid)
+            waiter = state.thread_mut(waiter_tid)
             mutex_name = waiter.pending_reacquire
             mutex = state.sync.mutex(mutex_name) if mutex_name else None
             waiter.blocked_on = ("mutex-reacquire", mutex_name)
@@ -571,6 +580,7 @@ class Executor:
         state.step_count += 1
         thread.steps += 1
         if mutex.owner is None:
+            mutex = state.sync.mutex_mut(mutex_name)
             mutex.owner = thread.tid
             thread.held_mutexes.append(mutex_name)
             thread.pending_reacquire = None
@@ -583,8 +593,8 @@ class Executor:
             thread.blocked_on = ("mutex-reacquire", mutex_name)
 
     def _exec_barrier(self, state, tid, stmt: ast.BarrierWait, listeners) -> None:
-        barrier = state.sync.barrier(stmt.barrier)
-        thread = state.thread(tid)
+        barrier = state.sync.barrier_mut(stmt.barrier)
+        thread = state.thread_mut(tid)
         barrier.arrived.append(tid)
         if len(barrier.arrived) >= barrier.parties:
             released = tuple(barrier.arrived)
@@ -593,6 +603,7 @@ class Executor:
             for other_tid in released:
                 other = state.thread(other_tid)
                 if other.is_blocked and other.blocked_on == ("barrier", stmt.barrier):
+                    other = state.thread_mut(other_tid)
                     other.status = ThreadStatus.RUNNABLE
                     other.blocked_on = None
             listeners.on_sync(
@@ -622,8 +633,7 @@ class Executor:
         for name, value in zip(function.params, values):
             args[name] = value
         child = state.add_thread(stmt.function, args, call_label=stmt.label)
-        frame = state.thread(tid).current_frame()
-        frame.locals[stmt.target] = child.tid
+        state.frame_mut(tid).locals[stmt.target] = child.tid
         listeners.on_sync(
             state,
             SyncEvent(tid, "spawn", stmt.function, stmt.pc, state.step_count, peer=(child.tid,)),
@@ -643,7 +653,7 @@ class Executor:
                 SyncEvent(tid, "join", str(target), stmt.pc, state.step_count, peer=(target,)),
             )
             return
-        thread = state.thread(tid)
+        thread = state.thread_mut(tid)
         thread.status = ThreadStatus.BLOCKED
         thread.blocked_on = ("join", target)
         raise RetrySignal()
@@ -660,7 +670,7 @@ class Executor:
             label=stmt.label,
             step=state.step_count,
         )
-        state.output_log.append(record)
+        state.append_output(record)
         listeners.on_output(state, record)
 
     def _exec_input(self, state, tid, stmt: ast.Input, listeners) -> None:
@@ -675,8 +685,7 @@ class Executor:
             value = int(state.concrete_inputs[stmt.name])
         else:
             value = stmt.default
-        frame = state.thread(tid).current_frame()
-        frame.locals[stmt.target] = value
+        state.frame_mut(tid).locals[stmt.target] = value
         record = InputRecord(
             name=stmt.name,
             value=value,
@@ -685,7 +694,7 @@ class Executor:
             step=state.step_count,
             symbolic=symbolic,
         )
-        state.input_log.append(record)
+        state.append_input(record)
         listeners.on_input(state, record)
 
     def _exec_assert(self, state, tid, stmt: ast.Assert, listeners) -> None:
@@ -708,7 +717,7 @@ class Executor:
         args = {name: 0 for name in function.params}
         for name, value in zip(function.params, values):
             args[name] = value
-        thread = state.thread(tid)
+        thread = state.thread_mut(tid)
         thread.frames.append(
             Frame(
                 function=stmt.function,
@@ -716,6 +725,7 @@ class Executor:
                 control=[BlockEntry(function.body, 0)],
                 return_target=stmt.target,
                 call_label=stmt.label,
+                version=thread.version,
             )
         )
 
@@ -723,15 +733,14 @@ class Executor:
         value: Value = 0
         if stmt.value is not None:
             value = self._eval(state, tid, stmt.value, stmt, listeners)
-        thread = state.thread(tid)
+        thread = state.thread_mut(tid)
         self._pop_frame(state, thread, value, listeners)
 
     def _exec_malloc(self, state, tid, stmt: ast.Malloc, listeners) -> None:
         size = self._eval(state, tid, stmt.size, stmt, listeners)
         size = self._concretize(state, size, what="allocation size")
         pointer = state.memory.malloc(int(size))
-        frame = state.thread(tid).current_frame()
-        frame.locals[stmt.target] = pointer
+        state.frame_mut(tid).locals[stmt.target] = pointer
 
     def _exec_free(self, state, tid, stmt: ast.Free, listeners) -> None:
         pointer = self._eval(state, tid, stmt.pointer, stmt, listeners)
@@ -739,7 +748,7 @@ class Executor:
         state.memory.free(int(pointer))
 
     def _exec_break(self, state, tid) -> None:
-        frame = state.thread(tid).current_frame()
+        frame = state.frame_mut(tid)
         while frame.control:
             entry = frame.control.pop()
             if isinstance(entry, LoopEntry):
@@ -747,7 +756,7 @@ class Executor:
         raise ProgramCrash(CrashKind.INVALID_SYNC, "break outside of a loop")
 
     def _exec_continue(self, state, tid) -> None:
-        frame = state.thread(tid).current_frame()
+        frame = state.frame_mut(tid)
         while frame.control:
             if isinstance(frame.control[-1], LoopEntry):
                 return
@@ -757,23 +766,29 @@ class Executor:
     # ------------------------------------------------------------ frame logic
 
     def _pop_frame(self, state, thread: ThreadState, value: Value, listeners) -> None:
+        """Pop the top frame; ``thread`` must be privately owned (thread_mut)."""
         popped = thread.frames.pop()
         if thread.frames:
             if popped.return_target is not None:
-                thread.frames[-1].locals[popped.return_target] = value
+                state.frame_mut(thread.tid).locals[popped.return_target] = value
         else:
             thread.result = value
             self._finish_thread(state, thread, listeners)
 
     def _finish_thread(self, state, thread: ThreadState, listeners) -> None:
+        """Finish ``thread`` (must be privately owned) and wake its joiners."""
         if thread.is_finished:
             return
         thread.status = ThreadStatus.FINISHED
         thread.blocked_on = None
         thread.frames = []
-        # Wake joiners.
-        for other in state.threads.values():
-            if other.is_blocked and other.blocked_on == ("join", thread.tid):
+        # Wake joiners.  ``blocked_on`` is None for almost every thread, so
+        # testing it first keeps this scan -- O(threads) per thread exit --
+        # to one attribute load and a failed comparison in the common case.
+        join_key = ("join", thread.tid)
+        for other_tid, other in list(state.threads.items()):
+            if other.blocked_on == join_key and other.is_blocked:
+                other = state.thread_mut(other_tid)
                 other.status = ThreadStatus.RUNNABLE
                 other.blocked_on = None
         listeners.on_sync(
@@ -781,17 +796,24 @@ class Executor:
             SyncEvent(thread.tid, "exit", thread.entry_function, 0, state.step_count),
         )
 
-    def _normalize(self, state, thread: ThreadState, listeners) -> None:
+    def _normalize(self, state, tid: int, listeners) -> None:
         """Pop exhausted blocks and perform implicit returns."""
+        thread = state.thread(tid)
         while thread.frames:
             frame = thread.frames[-1]
-            while frame.control and isinstance(frame.control[-1], BlockEntry) and frame.control[-1].exhausted():
+            while (
+                frame.control
+                and isinstance(frame.control[-1], BlockEntry)
+                and frame.control[-1].exhausted()
+            ):
+                frame = state.frame_mut(tid)
                 frame.control.pop()
             if frame.control:
                 return
+            thread = state.thread_mut(tid)
             self._pop_frame(state, thread, 0, listeners)
         if not thread.is_finished:
-            self._finish_thread(state, thread, listeners)
+            self._finish_thread(state, state.thread_mut(tid), listeners)
 
     # ---------------------------------------------------------------- forking
 
@@ -808,10 +830,11 @@ class Executor:
         true_constraint = simplify(sym_ne(cond, 0))
         false_constraint = simplify(sym_eq(cond, 0))
         base = list(state.path_condition.constraints)
-        true_feasible = self.solver.is_satisfiable(base + [true_constraint])
-        false_feasible = self.solver.is_satisfiable(base + [false_constraint])
+        true_feasible = self._side_feasible(base, true_constraint)
+        false_feasible = self._side_feasible(base, false_constraint)
 
         if true_feasible and false_feasible:
+            state.counters.forks += 1
             clone = state.clone()
             state.path_condition.add(true_constraint)
             on_true(state)
@@ -830,6 +853,21 @@ class Executor:
             OutcomeKind.INFEASIBLE, detail="both branch directions are infeasible"
         )
         return []
+
+    def _side_feasible(self, base: List[Value], constraint: Value) -> bool:
+        """Feasibility of one branch direction, skipping trivial solver calls.
+
+        Domain-based simplification can fold a branch constraint to a
+        concrete value even though the branch condition itself was symbolic.
+        A concretely-false constraint is UNSAT regardless of the base (the
+        solver short-circuits exactly this case), so the query is skipped.
+        A concretely-true constraint still consults the solver: the solver
+        drops it, making the query ``is_satisfiable(base)`` — which may
+        itself be UNSAT or UNKNOWN, so the answer is not known for free.
+        """
+        if not is_symbolic(constraint) and int(constraint) == 0:
+            return False
+        return self.solver.is_satisfiable(base + [constraint])
 
     # ------------------------------------------------------------- evaluation
 
@@ -950,8 +988,7 @@ class Executor:
         listeners: ListenerGroup,
     ) -> None:
         if isinstance(target, ast.LocalRef):
-            frame = state.thread(tid).current_frame()
-            frame.locals[target.name] = value
+            state.frame_mut(tid).locals[target.name] = value
             return
         if isinstance(target, ast.GlobalRef):
             state.memory.store_global(target.name, value)

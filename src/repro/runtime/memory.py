@@ -51,7 +51,15 @@ class HeapObject:
 
 
 class Memory:
-    """The mutable shared-memory image of one execution state."""
+    """The mutable shared-memory image of one execution state.
+
+    Cloning is copy-on-write: :meth:`clone` shares every container with the
+    copy and marks both sides unowned, and each mutator re-copies exactly
+    the container it is about to write (the globals dict, one array, one
+    heap object).  A state fork is therefore O(touched cells), not
+    O(memory image); untouched containers stay shared for the lifetime of
+    both states.  Readers never materialize anything.
+    """
 
     def __init__(self, program: Program) -> None:
         self._globals: Dict[str, Value] = dict(program.globals)
@@ -63,10 +71,39 @@ class Memory:
         }
         self._heap: Dict[int, HeapObject] = {}
         self._next_object_id = 1
+        self._globals_owned = True
+        self._arrays_owned = True
+        self._owned_arrays = set(self._arrays)
+        self._heap_owned = True
+        self._owned_objects: set = set()
+        self.counters = None
 
     # ------------------------------------------------------------------ clone
 
     def clone(self) -> "Memory":
+        """A copy-on-write clone; both sides relinquish ownership.
+
+        After the clone every container is reachable from both memories, so
+        the next write on *either* side must materialize a private copy --
+        hence ownership is dropped on ``self`` as well as on the copy.
+        """
+        copy = Memory.__new__(Memory)
+        copy._globals = self._globals
+        copy._arrays = self._arrays
+        copy._array_sizes = self._array_sizes  # immutable after __init__
+        copy._heap = self._heap
+        copy._next_object_id = self._next_object_id
+        copy.counters = self.counters
+        for memory in (self, copy):
+            memory._globals_owned = False
+            memory._arrays_owned = False
+            memory._owned_arrays = set()
+            memory._heap_owned = False
+            memory._owned_objects = set()
+        return copy
+
+    def clone_eager(self) -> "Memory":
+        """The pre-COW deep clone, kept for A/B benchmarks and tests."""
         copy = Memory.__new__(Memory)
         copy._globals = dict(self._globals)
         copy._arrays = {name: list(cells) for name, cells in self._arrays.items()}
@@ -76,10 +113,53 @@ class Memory:
             for oid, obj in self._heap.items()
         }
         copy._next_object_id = self._next_object_id
+        copy._globals_owned = True
+        copy._arrays_owned = True
+        copy._owned_arrays = set(copy._arrays)
+        copy._heap_owned = True
+        copy._owned_objects = set(copy._heap)
+        copy.counters = self.counters
         return copy
 
     def __deepcopy__(self, memo: dict) -> "Memory":
         return self.clone()
+
+    # ------------------------------------------------- copy-on-write plumbing
+
+    def _count_copy(self) -> None:
+        if self.counters is not None:
+            self.counters.cow_copies += 1
+
+    def _own_globals(self) -> None:
+        if not self._globals_owned:
+            self._globals = dict(self._globals)
+            self._globals_owned = True
+            self._count_copy()
+
+    def _own_array(self, name: str) -> List[Value]:
+        if name not in self._owned_arrays:
+            if not self._arrays_owned:
+                self._arrays = dict(self._arrays)
+                self._arrays_owned = True
+            self._arrays[name] = list(self._arrays[name])
+            self._owned_arrays.add(name)
+            self._count_copy()
+        return self._arrays[name]
+
+    def _own_heap_dict(self) -> None:
+        if not self._heap_owned:
+            self._heap = dict(self._heap)
+            self._heap_owned = True
+
+    def _own_object(self, pointer: int) -> HeapObject:
+        obj = self._heap[pointer]
+        if pointer not in self._owned_objects:
+            self._own_heap_dict()
+            obj = HeapObject(obj.object_id, obj.size, list(obj.cells), obj.freed)
+            self._heap[pointer] = obj
+            self._owned_objects.add(pointer)
+            self._count_copy()
+        return obj
 
     # ---------------------------------------------------------------- globals
 
@@ -99,6 +179,7 @@ class Memory:
             raise ProgramCrash(
                 CrashKind.INVALID_POINTER, f"write to undeclared global {name!r}"
             )
+        self._own_globals()
         self._globals[name] = value
 
     # ----------------------------------------------------------------- arrays
@@ -120,7 +201,7 @@ class Memory:
 
     def store_array(self, name: str, index: int, value: Value) -> None:
         self._check_bounds(name, index)
-        self._arrays[name][index] = value
+        self._own_array(name)[index] = value
 
     def _check_bounds(self, name: str, index: int) -> None:
         size = self.array_size(name)
@@ -141,7 +222,9 @@ class Memory:
             raise ProgramCrash(CrashKind.INVALID_POINTER, f"malloc of size {size}")
         object_id = self._next_object_id
         self._next_object_id += 1
+        self._own_heap_dict()
         self._heap[object_id] = HeapObject(object_id, size, [0] * size)
+        self._owned_objects.add(object_id)
         return object_id
 
     def free(self, pointer: int) -> None:
@@ -150,15 +233,15 @@ class Memory:
             raise ProgramCrash(
                 CrashKind.DOUBLE_FREE, f"double free of heap object #{pointer}"
             )
-        obj.freed = True
+        self._own_object(pointer).freed = True
 
     def load_heap(self, pointer: int, index: int) -> Value:
         obj = self._checked_object(pointer, index)
         return obj.cells[index]
 
     def store_heap(self, pointer: int, index: int, value: Value) -> None:
-        obj = self._checked_object(pointer, index)
-        obj.cells[index] = value
+        self._checked_object(pointer, index)
+        self._own_object(pointer).cells[index] = value
 
     def heap_object(self, pointer: int) -> HeapObject:
         return self._lookup_object(pointer, for_free=False)

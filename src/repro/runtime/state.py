@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.lang.program import Program
+from repro.runtime.counters import InterpCounters
 from repro.runtime.errors import ExecutionOutcome
 from repro.runtime.memory import Memory
 from repro.runtime.sync import SyncState
@@ -32,6 +33,12 @@ from repro.symex.expr import (
 from repro.symex.path_condition import PathCondition
 
 _state_ids = itertools.count(1)
+
+#: copy-on-write epochs: a thread/frame is privately owned iff its version
+#: matches the asking state's (resp. thread's) current epoch.  Epochs are
+#: process-globally unique, so objects shared across a fork can never
+#: accidentally match a freshly assigned epoch.
+_cow_versions = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -113,6 +120,23 @@ class ExecutionState:
         self.context_switches: int = 0
         self.symbolic_branches: int = 0
         self.notes: Dict[str, object] = {}
+        self.counters = InterpCounters()
+        self.cow_version: int = next(_cow_versions)
+        self._output_owned = True
+        self._input_owned = True
+        self.memory.counters = self.counters
+        self.sync.counters = self.counters
+
+    def attach_counters(self, counters: InterpCounters) -> None:
+        """Share one counters object between this state and its layers.
+
+        The executor calls this from ``initial_state`` so every state forked
+        from this one (clones share the reference) aggregates into the
+        executor-owned counters.
+        """
+        self.counters = counters
+        self.memory.counters = counters
+        self.sync.counters = counters
 
     # ------------------------------------------------------------------ setup
 
@@ -126,26 +150,82 @@ class ExecutionState:
             locals=dict(args),
             control=[BlockEntry(tuple(body), 0)],
             call_label=call_label,
+            version=self.cow_version,
         )
-        thread = ThreadState(tid=tid, entry_function=function, frames=[frame])
+        thread = ThreadState(
+            tid=tid,
+            entry_function=function,
+            frames=[frame],
+            version=self.cow_version,
+        )
         self.threads[tid] = thread
         return thread
 
     # ------------------------------------------------------------------ clone
 
     def clone(self) -> "ExecutionState":
+        """Fork this state, copy-on-write.
+
+        Memory and sync objects are shared with the copy and materialized
+        lazily on first write; thread states are shared via the COW epoch
+        (both sides get a fresh ``cow_version``, so every existing thread and
+        frame becomes unowned on *both* sides and is re-copied only when
+        mutated through :meth:`thread_mut` / :meth:`frame_mut`).  The
+        remaining per-state containers are tiny (path condition, inputs,
+        notes) or append-only logs shared until the next append.
+        """
         copy = ExecutionState.__new__(ExecutionState)
         copy.state_id = next(_state_ids)
         copy.parent_id = self.state_id
         copy.program = self.program
+        copy.counters = self.counters
         copy.memory = self.memory.clone()
         copy.sync = self.sync.clone()
-        copy.threads = {tid: thread.clone() for tid, thread in self.threads.items()}
+        copy.threads = dict(self.threads)
+        copy.next_tid = self.next_tid
+        copy.current_tid = self.current_tid
+        copy.path_condition = self.path_condition.clone()
+        copy.output_log = self.output_log
+        copy.input_log = self.input_log
+        self._output_owned = copy._output_owned = False
+        self._input_owned = copy._input_owned = False
+        copy.symbolic_inputs = dict(self.symbolic_inputs)
+        copy.concrete_inputs = dict(self.concrete_inputs)
+        copy.symbolic_input_names = self.symbolic_input_names
+        copy.outcome = self.outcome
+        copy.step_count = self.step_count
+        copy.preemption_points = self.preemption_points
+        copy.context_switches = self.context_switches
+        copy.symbolic_branches = self.symbolic_branches
+        copy.notes = dict(self.notes)
+        self.cow_version = next(_cow_versions)
+        copy.cow_version = next(_cow_versions)
+        return copy
+
+    def clone_eager(self) -> "ExecutionState":
+        """The pre-COW deep clone, kept for A/B benchmarks and tests."""
+        copy = ExecutionState.__new__(ExecutionState)
+        copy.state_id = next(_state_ids)
+        copy.parent_id = self.state_id
+        copy.program = self.program
+        copy.counters = self.counters
+        copy.memory = self.memory.clone_eager()
+        copy.sync = self.sync.clone_eager()
+        copy.cow_version = next(_cow_versions)
+        copy.threads = {}
+        for tid, thread in self.threads.items():
+            fresh = thread.clone()
+            fresh.version = copy.cow_version
+            for frame in fresh.frames:
+                frame.version = copy.cow_version
+            copy.threads[tid] = fresh
         copy.next_tid = self.next_tid
         copy.current_tid = self.current_tid
         copy.path_condition = self.path_condition.clone()
         copy.output_log = list(self.output_log)
         copy.input_log = list(self.input_log)
+        copy._output_owned = True
+        copy._input_owned = True
         copy.symbolic_inputs = dict(self.symbolic_inputs)
         copy.concrete_inputs = dict(self.concrete_inputs)
         copy.symbolic_input_names = self.symbolic_input_names
@@ -160,6 +240,41 @@ class ExecutionState:
     def __deepcopy__(self, memo: dict) -> "ExecutionState":
         return self.clone()
 
+    # --------------------------------------------------- copy-on-write access
+
+    def thread_mut(self, tid: int) -> ThreadState:
+        """The thread, privately owned: safe to mutate scalars and lists."""
+        thread = self.threads[tid]
+        if thread.version != self.cow_version:
+            thread = thread.cow_copy(self.cow_version)
+            self.threads[tid] = thread
+            self.counters.cow_copies += 1
+        return thread
+
+    def frame_mut(self, tid: int) -> Frame:
+        """The thread's top frame, privately owned: safe to mutate."""
+        thread = self.thread_mut(tid)
+        frame = thread.frames[-1]
+        if frame.version != thread.version:
+            frame = frame.cow_copy(thread.version)
+            thread.frames[-1] = frame
+            self.counters.cow_copies += 1
+        return frame
+
+    def append_output(self, record: OutputRecord) -> None:
+        if not self._output_owned:
+            self.output_log = list(self.output_log)
+            self._output_owned = True
+            self.counters.cow_copies += 1
+        self.output_log.append(record)
+
+    def append_input(self, record: InputRecord) -> None:
+        if not self._input_owned:
+            self.input_log = list(self.input_log)
+            self._input_owned = True
+            self.counters.cow_copies += 1
+        self.input_log.append(record)
+
     # ------------------------------------------------------------- inspection
 
     @property
@@ -167,7 +282,15 @@ class ExecutionState:
         return self.outcome is not None
 
     def runnable_tids(self) -> List[int]:
-        return [tid for tid, thread in self.threads.items() if thread.is_runnable]
+        # Inlined status check: this scan sits on the scheduler's per-step
+        # path for every preemption decision, where the ``is_runnable``
+        # property call per thread is measurable on many-thread states.
+        runnable = ThreadStatus.RUNNABLE
+        return [
+            tid
+            for tid, thread in self.threads.items()
+            if thread.status is runnable
+        ]
 
     def blocked_tids(self) -> List[int]:
         return [tid for tid, thread in self.threads.items() if thread.is_blocked]

@@ -52,7 +52,14 @@ class BarrierState:
 
 
 class SyncState:
-    """All synchronisation objects of one execution state."""
+    """All synchronisation objects of one execution state.
+
+    Cloning is copy-on-write at whole-layer granularity: sync state is a
+    handful of small objects, so the first mutation after a fork re-copies
+    all of them at once (one materialization) rather than tracking per-object
+    ownership.  Mutators must go through the ``*_mut`` accessors; the plain
+    accessors are read-only views.
+    """
 
     def __init__(self, program: Program) -> None:
         self.mutexes: Dict[str, MutexState] = {
@@ -64,16 +71,42 @@ class SyncState:
         self.barriers: Dict[str, BarrierState] = {
             name: BarrierState(name, parties) for name, parties in program.barriers.items()
         }
+        self._owned = True
+        self.counters = None
 
     def clone(self) -> "SyncState":
+        """A copy-on-write clone; both sides relinquish ownership."""
+        copy = SyncState.__new__(SyncState)
+        copy.mutexes = self.mutexes
+        copy.condvars = self.condvars
+        copy.barriers = self.barriers
+        copy.counters = self.counters
+        self._owned = False
+        copy._owned = False
+        return copy
+
+    def clone_eager(self) -> "SyncState":
+        """The pre-COW deep clone, kept for A/B benchmarks and tests."""
         copy = SyncState.__new__(SyncState)
         copy.mutexes = {name: m.clone() for name, m in self.mutexes.items()}
         copy.condvars = {name: c.clone() for name, c in self.condvars.items()}
         copy.barriers = {name: b.clone() for name, b in self.barriers.items()}
+        copy._owned = True
+        copy.counters = self.counters
         return copy
 
     def __deepcopy__(self, memo: dict) -> "SyncState":
         return self.clone()
+
+    def _materialize(self) -> None:
+        if self._owned:
+            return
+        self.mutexes = {name: m.clone() for name, m in self.mutexes.items()}
+        self.condvars = {name: c.clone() for name, c in self.condvars.items()}
+        self.barriers = {name: b.clone() for name, b in self.barriers.items()}
+        self._owned = True
+        if self.counters is not None:
+            self.counters.cow_copies += 1
 
     # ----------------------------------------------------------------- lookup
 
@@ -100,6 +133,23 @@ class SyncState:
             raise ProgramCrash(
                 CrashKind.INVALID_SYNC, f"use of undeclared barrier {name!r}"
             ) from exc
+
+    # ------------------------------------------------------ mutating accessors
+
+    def mutex_mut(self, name: str) -> MutexState:
+        self.mutex(name)  # canonical crash on undeclared names
+        self._materialize()
+        return self.mutexes[name]
+
+    def condvar_mut(self, name: str) -> CondVarState:
+        self.condvar(name)
+        self._materialize()
+        return self.condvars[name]
+
+    def barrier_mut(self, name: str) -> BarrierState:
+        self.barrier(name)
+        self._materialize()
+        return self.barriers[name]
 
     # --------------------------------------------------------- deadlock check
 

@@ -46,13 +46,22 @@ ControlEntry = Union[BlockEntry, LoopEntry]
 
 @dataclass
 class Frame:
-    """A call-stack frame: locals plus a control stack of nested blocks."""
+    """A call-stack frame: locals plus a control stack of nested blocks.
+
+    ``version`` implements copy-on-write forking: a frame is privately owned
+    by its thread iff ``frame.version == thread.version``.  A state fork
+    bumps the owning state's epoch on both sides (see
+    :meth:`repro.runtime.state.ExecutionState.clone`), so every shared frame
+    is lazily re-copied by :meth:`ExecutionState.frame_mut` before its first
+    mutation after the fork.
+    """
 
     function: str
     locals: Dict[str, Value]
     control: List[ControlEntry]
     return_target: Optional[str] = None
     call_label: str = ""
+    version: int = 0
 
     def clone(self) -> "Frame":
         return Frame(
@@ -61,6 +70,18 @@ class Frame:
             control=[entry.clone() for entry in self.control],
             return_target=self.return_target,
             call_label=self.call_label,
+            version=self.version,
+        )
+
+    def cow_copy(self, version: int) -> "Frame":
+        """A privately-owned copy: one locals dict and one control stack."""
+        return Frame(
+            function=self.function,
+            locals=dict(self.locals),
+            control=[entry.clone() for entry in self.control],
+            return_target=self.return_target,
+            call_label=self.call_label,
+            version=version,
         )
 
 
@@ -88,6 +109,8 @@ class ThreadState:
     held_mutexes: List[str] = field(default_factory=list)
     steps: int = 0
     result: Optional[Value] = None
+    #: copy-on-write epoch: owned by a state iff == that state's cow_version
+    version: int = 0
 
     def clone(self) -> "ThreadState":
         return ThreadState(
@@ -100,6 +123,28 @@ class ThreadState:
             held_mutexes=list(self.held_mutexes),
             steps=self.steps,
             result=self.result,
+            version=self.version,
+        )
+
+    def cow_copy(self, version: int) -> "ThreadState":
+        """A shallow privately-owned copy: frames stay shared until mutated.
+
+        The frame list itself is copied (so pushes/pops and per-frame
+        replacement are private) but the :class:`Frame` objects are shared;
+        they carry ``version == old epoch`` and are re-copied lazily by
+        :meth:`ExecutionState.frame_mut` before mutation.
+        """
+        return ThreadState(
+            tid=self.tid,
+            entry_function=self.entry_function,
+            frames=list(self.frames),
+            status=self.status,
+            blocked_on=self.blocked_on,
+            pending_reacquire=self.pending_reacquire,
+            held_mutexes=list(self.held_mutexes),
+            steps=self.steps,
+            result=self.result,
+            version=version,
         )
 
     # ------------------------------------------------------------- inspection
