@@ -40,6 +40,13 @@ Three A/B comparisons quantify the hot-path optimizations:
   changing a verdict; a third, pooled run with ``--speculate`` replays
   the same batch against the warmed primary-count history and must
   confirm speculative path submissions, and
+* **fault recovery** -- the streaming engine under a deterministic fault
+  plan (one worker crash, one hang, one malformed result) vs the same
+  fault-free run on the mixed ``stress_harmful`` + ``stress_deep`` batch:
+  the supervised pool must absorb every fault (respawn >= 1, at most one
+  task quarantined, zero run-wide serial downgrades), keep verdicts
+  bit-identical to the serial reference, and finish within 1.5x the
+  fault-free wall clock, and
 * **interpreter** -- the compiled dispatch kernel vs the tree walker:
   verdicts (and the interpreter's own statement/fork/COW counters) must
   stay bit-identical across the full registry, raw interpretation
@@ -151,6 +158,7 @@ def run_comparison(names=None):
     outcome["solver_backends"] = run_solver_backend_comparison()
     outcome["events"] = run_events_check()
     outcome["warm_tier"] = run_warm_tier_comparison()
+    outcome["fault_recovery"] = run_fault_recovery_comparison()
     outcome["interpreter"] = run_interpreter_comparison()
     return outcome
 
@@ -250,6 +258,80 @@ def run_warm_tier_comparison(names=("stress_deep", "stress_harmful")):
             if cold_enumerated
             else 0.0
         ),
+    }
+
+
+def run_fault_recovery_comparison(names=("stress_harmful", "stress_deep")):
+    """The supervised streaming engine under injected faults vs fault-free.
+
+    A serial run pins the reference signature; a fault-free streaming run
+    pins the baseline wall clock; the faulted streaming run replays the
+    identical batch under a deterministic plan injecting one worker crash,
+    one 800ms hang and one malformed result into the pool workers.  The
+    supervision ladder must absorb all three on the pool -- retries plus at
+    least one respawn, at most one quarantined task, zero run-wide serial
+    downgrades -- with bit-identical verdicts and bounded overhead.
+
+    The hang is deliberately shorter than the deadline floor: it is absorbed
+    as latency, not escalated to a watchdog respawn, so the wall-clock gate
+    measures recovery cost rather than a deadline wait (the watchdog path
+    has its own tests in ``tests/test_faults.py``).
+    """
+    serial_runs = AnalysisEngine(
+        options=EngineOptions(parallel=0, granularity="race")
+    ).analyze(list(names))
+    reference = _signature(serial_runs)
+
+    pool_options = dict(
+        parallel=WORKERS, granularity="auto", dispatch="streaming"
+    )
+    started = time.perf_counter()
+    clean_runs = AnalysisEngine(options=EngineOptions(**pool_options)).analyze(
+        list(names)
+    )
+    clean_seconds = time.perf_counter() - started
+
+    # The crash targets the few-race workload: a broken pool sweeps *every*
+    # in-flight chunk into singleton retries, so crashing mid-stress_harmful
+    # (hundreds of races per chunk) would measure singleton-resubmission
+    # overhead instead of recovery cost.
+    plan = json.dumps(
+        {
+            "faults": [
+                {"op": "crash", "stage": "classify", "workload": "stress_deep"},
+                {"op": "hang", "stage": "classify", "workload": "stress_harmful",
+                 "ms": 400},
+                {"op": "malformed", "stage": "classify", "workload": "stress_deep"},
+            ]
+        }
+    )
+    started = time.perf_counter()
+    engine = AnalysisEngine(
+        options=EngineOptions(fault_plan=plan, **pool_options)
+    )
+    faulted_runs = engine.analyze(list(names))
+    faulted_seconds = time.perf_counter() - started
+    stats = engine.last_run_stats
+
+    return {
+        "workloads": list(names),
+        "workers": WORKERS,
+        "clean": {"seconds": clean_seconds},
+        "faulted": {
+            "seconds": faulted_seconds,
+            "faults_injected": stats.faults_injected,
+            "task_retries": stats.task_retries,
+            "pool_respawns": stats.pool_respawns,
+            "tasks_quarantined": stats.tasks_quarantined,
+            "deadlines_exceeded": stats.deadlines_exceeded,
+            "pool_downgrades": stats.pool_downgrades,
+            "pools_created": stats.pools_created,
+        },
+        "identical": (
+            _signature(clean_runs) == reference
+            and _signature(faulted_runs) == reference
+        ),
+        "overhead": (faulted_seconds / clean_seconds) if clean_seconds else 0.0,
     }
 
 
@@ -687,6 +769,7 @@ def render(outcome):
     backends = outcome["solver_backends"]
     events = outcome["events"]
     warm_tier = outcome["warm_tier"]
+    fault_recovery = outcome["fault_recovery"]
     interpreter = outcome["interpreter"]
     tree_tp = interpreter["throughput"]["tree"]
     compiled_tp = interpreter["throughput"]["compiled"]
@@ -778,6 +861,18 @@ def render(outcome):
         f"{warm_tier['speculation']['wasted']} wasted)",
         f"{'verdicts identical':<26} {warm_tier['identical']}",
         "",
+        f"Fault recovery ({', '.join(fault_recovery['workloads'])}, "
+        f"{fault_recovery['workers']} workers):",
+        f"{'fault-free streaming':<26} {fault_recovery['clean']['seconds']:.2f}s",
+        f"{'faulted streaming':<26} {fault_recovery['faulted']['seconds']:.2f}s  "
+        f"({fault_recovery['faulted']['faults_injected']} faults injected, "
+        f"{fault_recovery['faulted']['task_retries']} retries, "
+        f"{fault_recovery['faulted']['pool_respawns']} respawns, "
+        f"{fault_recovery['faulted']['tasks_quarantined']} quarantined, "
+        f"{fault_recovery['faulted']['pool_downgrades']} downgrades)",
+        f"{'recovery overhead':<26} {fault_recovery['overhead']:.2f}x",
+        f"{'verdicts identical':<26} {fault_recovery['identical']}",
+        "",
         f"Interpreter ({', '.join(interpreter['stress_workloads'])}):",
         f"{'tree walker':<26} {tree_tp['seconds']:.3f}s  "
         f"({tree_tp['statements']} statements, "
@@ -818,6 +913,7 @@ def to_artifact(outcome):
         "solver_backends": outcome["solver_backends"],
         "events": outcome["events"],
         "warm_tier": outcome["warm_tier"],
+        "fault_recovery": outcome["fault_recovery"],
         "interpreter": outcome["interpreter"],
     }
 
@@ -899,6 +995,13 @@ def verify(outcome):
     assert (
         warm_tier["warm"]["seconds"] <= 1.10 * warm_tier["cold"]["seconds"]
     ), warm_tier
+    # Fault recovery: verdicts are bit-identical to serial no matter what the
+    # plan injected -- recovery re-runs deterministic tasks, it never changes
+    # answers.  The pooled-recovery gates (respawns fired, nothing run-wide
+    # downgraded) live in the multi-core block below: on a single core the
+    # engine runs serially and the driver never injects.
+    fault_recovery = outcome["fault_recovery"]
+    assert fault_recovery["identical"], fault_recovery
     # The interpreter kernels: bit-identical verdicts *and* counters across
     # the whole registry, identical statement counts on the stress programs
     # (the throughput legs execute the same work), strictly higher steps/sec
@@ -962,6 +1065,21 @@ def verify(outcome):
             full_stream["streaming"]["seconds"]
             <= 1.15 * full_stream["staged"]["seconds"]
         ), full_stream
+        # The supervised pool under injected faults: every fault fired and
+        # was absorbed on the pool -- the crash respawned the (single) pool,
+        # at most one task was quarantined, and the run never downgraded to
+        # run-wide serial execution.  Recovery cost is bounded: the faulted
+        # run finishes within 1.5x the fault-free wall clock.
+        faulted = fault_recovery["faulted"]
+        assert faulted["faults_injected"] == 3, fault_recovery
+        assert faulted["task_retries"] >= 1, fault_recovery
+        assert faulted["pool_respawns"] >= 1, fault_recovery
+        assert faulted["tasks_quarantined"] <= 1, fault_recovery
+        assert faulted["pool_downgrades"] == 0, fault_recovery
+        assert faulted["pools_created"] == 1, fault_recovery
+        assert (
+            faulted["seconds"] <= 1.5 * fault_recovery["clean"]["seconds"]
+        ), fault_recovery
 
 
 def test_engine_serial_vs_parallel(benchmark, once):

@@ -30,7 +30,12 @@
 
 from repro.engine.cache import ClassificationCache, TraceCache, collect_cache_info
 from repro.engine.costmodel import CostModel
-from repro.engine.dispatch import DISPATCH_MODES, PoolDispatcher
+from repro.engine.dispatch import (
+    DISPATCH_MODES,
+    PoolDispatcher,
+    validate_worker_output,
+)
+from repro.engine.errors import EngineError, FaultPlanError
 from repro.engine.engine import (
     AnalysisEngine,
     EngineOptions,
@@ -48,6 +53,7 @@ from repro.engine.events import (
     summarize_events,
     write_events,
 )
+from repro.engine.faults import FaultPlan, resolve_fault_plan
 from repro.engine.stats import GLOBAL_STATS, EngineStats
 from repro.engine.tasks import (
     ClassificationTask,
@@ -67,6 +73,11 @@ __all__ = [
     "EngineRun",
     "choose_granularity",
     "collect_cache_info",
+    "EngineError",
+    "FaultPlanError",
+    "FaultPlan",
+    "resolve_fault_plan",
+    "validate_worker_output",
     "CostModel",
     "DISPATCH_MODES",
     "PoolDispatcher",

@@ -67,6 +67,7 @@ from repro.engine.cache import ClassificationCache, TraceCache
 from repro.engine.costmodel import CostModel, prune_scored
 from repro.engine.dispatch import DISPATCH_MODES, PoolDispatcher, picklable
 from repro.engine.events import EventLogger, write_events
+from repro.engine.faults import FaultPlan, resolve_fault_plan
 from repro.engine.stats import GLOBAL_STATS, EngineStats
 from repro.engine.tasks import (
     ClassificationTask,
@@ -74,7 +75,6 @@ from repro.engine.tasks import (
     PlanTask,
     RecordTask,
     execute_path_task,
-    execute_payload_chunk,
     execute_plan_task,
     execute_record_task,
     execute_task,
@@ -134,6 +134,22 @@ def _default_warm_tier() -> bool:
 
 def _default_speculate() -> bool:
     return _env_int("REPRO_SPECULATE", 0) != 0
+
+
+def _default_fault_plan() -> Optional[str]:
+    return os.environ.get("REPRO_FAULT_PLAN", "").strip() or None
+
+
+def _default_max_pool_respawns() -> int:
+    return _env_int("REPRO_MAX_POOL_RESPAWNS", 2)
+
+
+def _default_max_task_retries() -> int:
+    return _env_int("REPRO_MAX_TASK_RETRIES", 2)
+
+
+def _default_task_deadline_ms() -> int:
+    return _env_int("REPRO_TASK_DEADLINE_MS", 0)
 
 
 @dataclass(frozen=True)
@@ -199,6 +215,24 @@ class EngineOptions:
     #: mispredictions are discarded and recounted.  Changes scheduling only,
     #: never verdicts.  Default from ``REPRO_SPECULATE`` (off).
     speculate: bool = field(default_factory=_default_speculate)
+    #: deterministic fault-injection plan: inline JSON or a path to a JSON
+    #: file (see :mod:`repro.engine.faults`); installed only in pool workers,
+    #: so recovery -- retries, respawns, quarantine -- runs fault-free.
+    #: Default from ``REPRO_FAULT_PLAN`` (none).
+    fault_plan: Optional[str] = field(default_factory=_default_fault_plan)
+    #: how many times a broken persistent pool may be torn down and rebuilt
+    #: before the run downgrades to serial execution.  Default from
+    #: ``REPRO_MAX_POOL_RESPAWNS`` (2).
+    max_pool_respawns: int = field(default_factory=_default_max_pool_respawns)
+    #: failed executions a task may accumulate (crash / malformed result /
+    #: deadline expiry) before it is quarantined to the in-driver serial
+    #: path.  Default from ``REPRO_MAX_TASK_RETRIES`` (2).
+    max_task_retries: int = field(default_factory=_default_max_task_retries)
+    #: flat per-chunk deadline in milliseconds for the supervised drain; 0
+    #: derives a deadline per chunk from the cost model's latency estimate
+    #: (with a generous floor, see ``REPRO_DEADLINE_FLOOR_MS``).  Default
+    #: from ``REPRO_TASK_DEADLINE_MS`` (0 = cost-model auto).
+    task_deadline_ms: int = field(default_factory=_default_task_deadline_ms)
 
 
 def choose_granularity(
@@ -338,7 +372,12 @@ class AnalysisEngine:
             if (self.options.warm_tier and self.options.cache_dir)
             else None
         )
-        #: owns the run's persistent pool and the serial fallback (validates
+        #: the resolved fault-injection spec (None without a plan); resolved
+        #: once here so a malformed plan fails loudly at construction, and
+        #: shipped to pool workers through the dispatcher's initializer args
+        self._fault_spec = resolve_fault_plan(self.options.fault_plan)
+        #: owns the run's persistent pool, the supervision layer (respawn /
+        #: retry / quarantine / deadlines) and the serial fallback (validates
         #: options.dispatch against DISPATCH_MODES); pool-lifecycle events
         #: land on the engine's logger
         self._dispatcher = PoolDispatcher(
@@ -347,6 +386,10 @@ class AnalysisEngine:
             self.events,
             cost_model=self.cost_model,
             warm_tier_root=self._warm_tier_root,
+            max_pool_respawns=self.options.max_pool_respawns,
+            max_task_retries=self.options.max_task_retries,
+            task_deadline_ms=self.options.task_deadline_ms,
+            fault_spec=self._fault_spec,
         )
         self.cache = (
             TraceCache(self.options.cache_dir, max_entries=self.options.cache_max_entries)
@@ -377,6 +420,14 @@ class AnalysisEngine:
         # worker-lifetime caches (serial runs, serial fallbacks) rehydrate
         # from the sidecars exactly like a fresh pool worker would.
         set_warm_tier_dir(self._warm_tier_root)
+        # Apply any driver-side sidecar corruption up front (the fuzzing
+        # half of the fault plan), and snapshot the claim ledger so only
+        # faults fired *during this run* replay as events at run finish.
+        self._fault_claims_baseline: Sequence[str] = ()
+        if self._fault_spec is not None:
+            plan = FaultPlan(self._fault_spec)
+            self._fault_claims_baseline = plan.claim_names()
+            plan.apply_sidecar_faults(self.options.cache_dir)
         self.events.reset()
         self.events.emit(
             "run_start",
@@ -392,6 +443,24 @@ class AnalysisEngine:
         """Close the run: snapshot the event stream, fold it into the run's
         stats view, merge that into the ``GLOBAL_STATS`` compatibility
         aggregate, and append the JSONL file when configured."""
+        # Flush recovery records the drain loops did not replay themselves
+        # (e.g. a warm-up respawn on a fully-cached run that never dispatched).
+        self._dispatcher.drain_recovery()
+        # Replay faults fired this run from the plan's claim ledger: a crashed
+        # worker cannot report its own injection, but its claim file -- written
+        # *before* acting -- survives, so the driver reconstructs the event
+        # stream deterministically, ordered by (fault index, slot).
+        if self._fault_spec is not None:
+            plan = FaultPlan(self._fault_spec)
+            for record in plan.claimed_records(exclude=self._fault_claims_baseline):
+                self.events.emit(
+                    "fault_injected",
+                    op=record.get("op", "?"),
+                    stage=record.get("stage"),
+                    workload=record.get("workload"),
+                    fault_index=record["index"],
+                    slot=record["slot"],
+                )
         self.events.emit(
             "run_finish", seconds=time.perf_counter() - self._run_started
         )
@@ -673,7 +742,6 @@ class AnalysisEngine:
         plans: Dict[Tuple[int, int], Dict] = {}
         partials: Dict[Tuple[int, int], List[Dict]] = {}
         decisions: List[Dict] = []
-        pending: Dict[object, Tuple[str, object]] = {}
         in_flight = {"record": 0, "classify": 0, "plan": 0, "path": 0, "spec": 0}
         # Scheduling inputs are frozen *before* the drain starts: the cost
         # model keeps learning mid-drain (observe_output/observe_plan), and
@@ -697,6 +765,12 @@ class AnalysisEngine:
         path_batches = 0
         record_clock = _OverlapClock()
         plan_clock = _OverlapClock()
+        # Every submission rides the run's supervisor: a crash, hang or
+        # malformed result retries / respawns / quarantines per the
+        # degradation ladder in :mod:`repro.engine.dispatch` instead of
+        # aborting the stream.  The engine's module-global ``wait`` is
+        # injected so it stays the test suite's monkeypatch seam.
+        supervisor = self._dispatcher.supervise(pool, wait_fn=wait)
 
         def submit_chunks(kind, stage_misses, payloads, fingerprint, index):
             """Submit one logical batch as cost-sized chunk futures."""
@@ -710,10 +784,14 @@ class AnalysisEngine:
                     if kind == "classify"
                     else stage_misses
                 )
-                future = pool.submit(execute_payload_chunk, worker_fn, chunk_payloads)
-                pending[future] = (
-                    kind,
-                    (ref, estimate * len(chunk_payloads), fingerprints[index]),
+                supervisor.submit(
+                    worker_fn,
+                    chunk_payloads,
+                    tag=(
+                        kind,
+                        (ref, estimate * len(chunk_payloads), fingerprints[index]),
+                    ),
+                    estimate=estimate * len(chunk_payloads),
                 )
                 in_flight[kind] += 1
 
@@ -793,7 +871,12 @@ class AnalysisEngine:
                     payload = self._task_payload(
                         PlanTask, recordings, contexts, config_data, miss[0], miss[1]
                     )
-                    pending[pool.submit(execute_plan_task, payload)] = ("plan", miss)
+                    supervisor.submit(
+                        execute_plan_task,
+                        [payload],
+                        tag=("plan", miss),
+                        estimate=model.estimate("plan", fingerprints[index]),
+                    )
                     in_flight["plan"] += 1
                     if primary_history is not None:
                         submit_speculative(miss)
@@ -831,13 +914,15 @@ class AnalysisEngine:
             ]
             speculated[(index, race_id)] = set(range(predicted))
             size = model.chunk_size("path", fingerprints[index], len(payloads), workers)
+            estimate = model.estimate("path", fingerprints[index])
             for start in range(0, len(payloads), size):
-                future = pool.submit(
-                    execute_payload_chunk,
+                chunk_payloads = payloads[start : start + size]
+                supervisor.submit(
                     execute_path_task,
-                    payloads[start : start + size],
+                    chunk_payloads,
+                    tag=("spec", (index, race_id)),
+                    estimate=estimate * len(chunk_payloads),
                 )
-                pending[future] = ("spec", (index, race_id))
                 in_flight["spec"] += 1
 
         def submit_paths(index, race_id, plan):
@@ -862,8 +947,12 @@ class AnalysisEngine:
             key=lambda index: -model.estimate("record", fingerprints[index]),
         )
         for index in record_order:
-            future = pool.submit(execute_record_task, record_payloads[index])
-            pending[future] = ("record", index)
+            supervisor.submit(
+                execute_record_task,
+                [record_payloads[index]],
+                tag=("record", index),
+                estimate=model.estimate("record", fingerprints[index]),
+            )
             in_flight["record"] += 1
         # Trace-cached workloads skip stage 1 entirely: their stage-3 work
         # enters the scheduler immediately and overlaps the live recordings.
@@ -879,13 +968,12 @@ class AnalysisEngine:
         )
         plan_clock.update(in_flight["plan"], in_flight["path"] + in_flight["spec"])
 
-        while pending:
-            done, _not_done = wait(set(pending), return_when=FIRST_COMPLETED)
-            for future in done:
-                kind, ref = pending.pop(future)
-                output = future.result()
+        while not supervisor.done:
+            for tag, chunk_outputs in supervisor.wait_some():
+                kind, ref = tag
                 if kind == "record":
                     in_flight["record"] -= 1
+                    output = chunk_outputs[0]
                     index = ref
                     workload = workloads[index]
                     trace = ExecutionTrace.from_dict(output["trace"])
@@ -911,7 +999,7 @@ class AnalysisEngine:
                     in_flight["classify"] -= 1
                     chunk_misses, estimate, fingerprint = ref
                     actual = 0.0
-                    for miss, item in zip(chunk_misses, output):
+                    for miss, item in zip(chunk_misses, chunk_outputs):
                         race_outputs[(miss[0], miss[1])] = item
                         seconds = model.observe_output("classify", fingerprint, item)
                         actual += seconds or 0.0
@@ -925,6 +1013,7 @@ class AnalysisEngine:
                     )
                 elif kind == "plan":
                     in_flight["plan"] -= 1
+                    output = chunk_outputs[0]
                     index, race_id, _key = ref
                     plans[(index, race_id)] = output
                     model.observe_output("plan", fingerprints[index], output)
@@ -937,22 +1026,22 @@ class AnalysisEngine:
                 elif kind == "path":
                     in_flight["path"] -= 1
                     (index, race_id), estimate, fingerprint = ref
-                    partials.setdefault((index, race_id), []).extend(output)
+                    partials.setdefault((index, race_id), []).extend(chunk_outputs)
                     actual = 0.0
-                    for item in output:
+                    for item in chunk_outputs:
                         seconds = model.observe_output("path", fingerprint, item)
                         actual += seconds or 0.0
                     decisions.append(
                         {
                             "stage": "path",
-                            "chunk_size": len(output),
+                            "chunk_size": len(chunk_outputs),
                             "estimated_seconds": estimate,
                             "actual_seconds": actual,
                         }
                     )
                 else:  # speculative path chunk: quarantine until its plan lands
                     in_flight["spec"] -= 1
-                    spec_partials.setdefault(ref, []).extend(output)
+                    spec_partials.setdefault(ref, []).extend(chunk_outputs)
                 record_clock.update(
                     in_flight["record"],
                     in_flight["classify"]
@@ -1044,6 +1133,10 @@ class AnalysisEngine:
             self.events.emit("pool", action="reused")
         for decision in decisions:
             self.events.emit("scheduler_decision", **decision)
+        # Recovery records (retries, respawns, quarantines, deadline hits)
+        # replay here, after the drain, exactly like scheduler decisions:
+        # buffered at nondeterministic moments, emitted in canonical order.
+        self._dispatcher.drain_recovery()
         all_path_misses = [miss for index in range(count) for miss in path_misses[index]]
         plan_list = [plans[(index, race_id)] for index, race_id, _key in all_path_misses]
         for index, race_id, _key in all_path_misses:
@@ -1385,11 +1478,8 @@ class AnalysisEngine:
         ``(recording index, race_id, path_index)`` and the merge consumes
         them in deterministic path order.
         """
-        from repro.engine.tasks import execute_payload_chunk
-
         plans: List[Optional[Dict]] = [None] * len(misses)
         partials: Dict[Tuple[int, int], List[Dict]] = {}
-        pending: Dict[object, Tuple[str, object]] = {}
         for index, race_id, _key in misses:
             self.events.emit(
                 "task_submit",
@@ -1397,20 +1487,23 @@ class AnalysisEngine:
                 workload=recordings[index].workload.name,
                 race=race_id,
             )
+        # Supervised drain: crashes, hangs and malformed results recover per
+        # the dispatch module's degradation ladder instead of aborting the
+        # stream; ``wait`` is injected as the test suite's monkeypatch seam.
+        supervisor = self._dispatcher.supervise(pool, wait_fn=wait)
         for position, payload in enumerate(plan_payloads):
-            pending[pool.submit(execute_plan_task, payload)] = ("plan", position)
-        plans_in_flight = len(pending)
+            supervisor.submit(execute_plan_task, [payload], tag=("plan", position))
+        plans_in_flight = len(plan_payloads)
         paths_in_flight = 0
         path_batches = 0
         workers = max(1, self.options.parallel or 1)
         overlap = _OverlapClock()
-        while pending:
-            done, _not_done = wait(set(pending), return_when=FIRST_COMPLETED)
-            for future in done:
-                kind, ref = pending.pop(future)
-                output = future.result()
+        while not supervisor.done:
+            for tag, chunk_outputs in supervisor.wait_some():
+                kind, ref = tag
                 if kind == "plan":
                     plans_in_flight -= 1
+                    output = chunk_outputs[0]
                     plans[ref] = output
                     index, race_id, _key = misses[ref]
                     payloads = list(
@@ -1427,16 +1520,15 @@ class AnalysisEngine:
                         path_batches += 1
                         step = -(-len(payloads) // workers)  # ceil division
                         for start in range(0, len(payloads), step):
-                            chunk_future = pool.submit(
-                                execute_payload_chunk,
+                            supervisor.submit(
                                 execute_path_task,
                                 payloads[start : start + step],
+                                tag=("paths", (index, race_id)),
                             )
-                            pending[chunk_future] = ("paths", (index, race_id))
                             paths_in_flight += 1
                 else:
                     paths_in_flight -= 1
-                    partials.setdefault(ref, []).extend(output)
+                    partials.setdefault(ref, []).extend(chunk_outputs)
                 overlap.update(plans_in_flight, paths_in_flight)
         # Emit and absorb events only after the full drain succeeded: a
         # mid-stream pool failure discards these results and re-runs, and
@@ -1462,6 +1554,7 @@ class AnalysisEngine:
                 partials.get((index, race_id), ()), key=lambda o: o["path_index"]
             ):
                 self.events.absorb(output.get("events"))
+        self._dispatcher.drain_recovery()
         return plans, partials
 
     def _barrier_plan_paths(

@@ -1,0 +1,21 @@
+"""Engine-level error types.
+
+:class:`EngineError` is the engine's "this task is broken" signal: raised
+when a worker result fails validation at the dispatch boundary (see
+:func:`repro.engine.dispatch.validate_worker_output`) even after the retry /
+quarantine ladder has re-run the task in the driving process, or when a
+fault plan spec itself is malformed.  It always names the offending task
+(stage, workload, race/path), so the failure points at the work item instead
+of surfacing as a bare ``KeyError`` deep inside the merge.
+"""
+
+from __future__ import annotations
+
+
+class EngineError(RuntimeError):
+    """A task or configuration failure the engine can attribute by name."""
+
+
+class FaultPlanError(EngineError):
+    """A fault-injection plan (``--fault-plan`` / ``REPRO_FAULT_PLAN``)
+    could not be parsed or validated."""

@@ -49,6 +49,22 @@ kind                         fields
                              ``wasted`` -- one per race the streaming
                              scheduler pre-submitted path tasks for before
                              the plan landed
+``task_retry``               ``stage``, ``workload``, ``race``/``path``,
+                             ``attempt``, ``reason`` (crash/deadline/
+                             malformed) -- supervision re-submitted the task
+``pool_respawn``             ``reason``, ``respawns`` (cumulative charged
+                             count) -- persistent pool rebuilt after a crash
+                             or hang; ``action: downgraded`` pool events mark
+                             budget exhaustion instead
+``task_quarantined``         ``stage``, ``workload``, ``race``/``path``,
+                             ``reason`` -- the task was exiled to the
+                             in-driver serial path (it alone, not the run)
+``deadline_exceeded``        ``stage``, ``workload``, ``deadline_seconds`` --
+                             the watchdog cancelled an in-flight chunk
+``fault_injected``           ``op``, ``stage``, ``workload``, ``race``/
+                             ``path`` -- replayed post-run from the fault
+                             plan's claim ledger (crashed workers cannot
+                             report their own injection)
 ``events_truncated``         ``dropped`` -- per-task buffer cap was hit
 ===========================  ====================================================
 
@@ -100,6 +116,11 @@ EVENT_KINDS = (
     "stage_overlap",
     "scheduler_decision",
     "speculation",
+    "task_retry",
+    "pool_respawn",
+    "task_quarantined",
+    "deadline_exceeded",
+    "fault_injected",
     "events_truncated",
 )
 
@@ -238,6 +259,8 @@ def fold_events(events: Iterable[Event]) -> EngineStats:
                 stats.pools_created += 1
             elif event.get("action") == "reused":
                 stats.pool_reuses += 1
+            elif event.get("action") == "downgraded":
+                stats.pool_downgrades += 1
         elif kind == "stage_overlap":
             seconds = float(event.get("seconds", 0.0))
             if event.get("channel") == "record_classify":
@@ -247,6 +270,16 @@ def fold_events(events: Iterable[Event]) -> EngineStats:
         elif kind == "speculation":
             stats.speculation_hits += int(event.get("hits", 0))
             stats.speculation_wasted += int(event.get("wasted", 0))
+        elif kind == "task_retry":
+            stats.task_retries += 1
+        elif kind == "pool_respawn":
+            stats.pool_respawns += 1
+        elif kind == "task_quarantined":
+            stats.tasks_quarantined += 1
+        elif kind == "deadline_exceeded":
+            stats.deadlines_exceeded += 1
+        elif kind == "fault_injected":
+            stats.faults_injected += 1
         # ``scheduler_decision`` events are advisory detail (like
         # ``solver_query``): the chunks they describe already produced the
         # task events folded above, so they fold to nothing.
@@ -324,6 +357,23 @@ def summarize_events(events: Sequence[Event]) -> Dict[str, object]:
     interpreters: Dict[str, Dict[str, int]] = {}
     decisions: Dict[str, Dict[str, float]] = {}
     speculation = {"races": 0, "predicted": 0, "hits": 0, "wasted": 0}
+    recovery: Dict[str, object] = {
+        "retries": 0,
+        "respawns": 0,
+        "quarantined": 0,
+        "deadline_exceeded": 0,
+        "faults_injected": 0,
+        "downgrades": 0,
+        "by_stage": {},
+    }
+
+    def _recovery_stage(event: Event, field: str) -> None:
+        stage = str(event.get("stage", "?"))
+        entry = recovery["by_stage"].setdefault(
+            stage, {"retries": 0, "quarantined": 0, "deadline_exceeded": 0}
+        )
+        entry[field] += 1
+
     for event in events:
         kind = str(event.get("kind"))
         by_kind[kind] = by_kind.get(kind, 0) + 1
@@ -366,6 +416,22 @@ def summarize_events(events: Sequence[Event]) -> Dict[str, object]:
             entry["seconds"] += float(event.get("seconds", 0.0))
             entry["enumerated"] += int(event.get("enumerated_assignments", 0))
             entry["fastpath"] += int(event.get("fastpath_answers", 0))
+        elif kind == "task_retry":
+            recovery["retries"] += 1
+            _recovery_stage(event, "retries")
+        elif kind == "pool_respawn":
+            recovery["respawns"] += 1
+        elif kind == "task_quarantined":
+            recovery["quarantined"] += 1
+            _recovery_stage(event, "quarantined")
+        elif kind == "deadline_exceeded":
+            recovery["deadline_exceeded"] += 1
+            _recovery_stage(event, "deadline_exceeded")
+        elif kind == "fault_injected":
+            recovery["faults_injected"] += 1
+        elif kind == "pool":
+            if event.get("action") == "downgraded":
+                recovery["downgrades"] += 1
         elif kind == "interp_stats":
             interp = str(event.get("interp", "tree"))
             entry = interpreters.setdefault(
@@ -413,6 +479,7 @@ def summarize_events(events: Sequence[Event]) -> Dict[str, object]:
         "interpreters": dict(sorted(interpreters.items())),
         "scheduler_decisions": dict(sorted(decisions.items())),
         "speculation": speculation,
+        "recovery": recovery,
     }
 
 
@@ -460,6 +527,33 @@ def render_events_info(events: Sequence[Event]) -> str:
         )
     else:
         lines.append("  (no speculation events)")
+    lines.append("")
+    lines.append("recovery:")
+    recovery = summary["recovery"]
+    recovered = (
+        recovery["retries"]
+        or recovery["respawns"]
+        or recovery["quarantined"]
+        or recovery["deadline_exceeded"]
+        or recovery["faults_injected"]
+        or recovery["downgrades"]
+    )
+    if recovered:
+        lines.append(
+            f"  retries={recovery['retries']} respawns={recovery['respawns']} "
+            f"quarantined={recovery['quarantined']} "
+            f"deadline_exceeded={recovery['deadline_exceeded']} "
+            f"faults_injected={recovery['faults_injected']} "
+            f"downgrades={recovery['downgrades']}"
+        )
+        for stage, data in sorted(recovery["by_stage"].items()):
+            lines.append(
+                f"  {stage}: retries={data['retries']} "
+                f"quarantined={data['quarantined']} "
+                f"deadline_exceeded={data['deadline_exceeded']}"
+            )
+    else:
+        lines.append("  (no recovery events)")
     lines.append("")
     lines.append("cache hit rates:")
     for tier, data in summary["cache_rates"].items():

@@ -79,6 +79,23 @@ class EngineStats:
     #: copy-on-write materializations (containers/threads/frames copied on
     #: first write after a fork)
     interp_cow_copies: int = 0
+    #: task executions re-submitted after a worker crash, deadline expiry,
+    #: or malformed result (supervision layer)
+    task_retries: int = 0
+    #: persistent-pool teardown+rebuild cycles after a worker crash or hang
+    #: (bounded by ``--max-pool-respawns``; distinct from ``pools_created``)
+    pool_respawns: int = 0
+    #: tasks exiled to the in-driver serial path after exhausting retries
+    #: (the task alone is quarantined, never the run)
+    tasks_quarantined: int = 0
+    #: in-flight chunks cancelled by the deadline watchdog
+    deadlines_exceeded: int = 0
+    #: faults fired by an installed fault plan (replayed from its claim
+    #: ledger at run finish)
+    faults_injected: int = 0
+    #: run-wide serial downgrades after the respawn budget was exhausted
+    #: (the chaos CI job asserts this stays 0 under the standard fault plan)
+    pool_downgrades: int = 0
 
     def reset(self) -> None:
         self.traces_recorded = 0
@@ -103,6 +120,12 @@ class EngineStats:
         self.interp_statements = 0
         self.interp_forks = 0
         self.interp_cow_copies = 0
+        self.task_retries = 0
+        self.pool_respawns = 0
+        self.tasks_quarantined = 0
+        self.deadlines_exceeded = 0
+        self.faults_injected = 0
+        self.pool_downgrades = 0
 
     def merge(self, other: "EngineStats") -> None:
         """Add another stats view into this one (used to fold a finished
@@ -129,6 +152,12 @@ class EngineStats:
         self.interp_statements += other.interp_statements
         self.interp_forks += other.interp_forks
         self.interp_cow_copies += other.interp_cow_copies
+        self.task_retries += other.task_retries
+        self.pool_respawns += other.pool_respawns
+        self.tasks_quarantined += other.tasks_quarantined
+        self.deadlines_exceeded += other.deadlines_exceeded
+        self.faults_injected += other.faults_injected
+        self.pool_downgrades += other.pool_downgrades
 
     def absorb_solver(self, payload) -> None:
         """Fold one task's solver-counter snapshot into the aggregate.
@@ -185,7 +214,13 @@ class EngineStats:
             f"speculation wasted={self.speculation_wasted}, "
             f"interp statements={self.interp_statements}, "
             f"interp forks={self.interp_forks}, "
-            f"interp cow copies={self.interp_cow_copies}"
+            f"interp cow copies={self.interp_cow_copies}, "
+            f"task retries={self.task_retries}, "
+            f"pool respawns={self.pool_respawns}, "
+            f"tasks quarantined={self.tasks_quarantined}, "
+            f"deadlines exceeded={self.deadlines_exceeded}, "
+            f"faults injected={self.faults_injected}, "
+            f"pool downgrades={self.pool_downgrades}"
         )
 
 

@@ -217,7 +217,9 @@ def _finish_task(
     return snapshot, events.drain()
 
 
-def pool_worker_initializer(warm_tier_root: Optional[str] = None) -> None:
+def pool_worker_initializer(
+    warm_tier_root: Optional[str] = None, fault_spec: Optional[Mapping] = None
+) -> None:
     """Runs once in each fresh pool worker process.
 
     Installs clean worker-lifetime state: the solver memos of
@@ -230,13 +232,20 @@ def pool_worker_initializer(warm_tier_root: Optional[str] = None) -> None:
     rehydrate on first use of each program's cache -- the cross-run warmth
     that makes a freshly forked process answer repeat constraint sets
     without enumerating.
+
+    When a fault plan is active (``--fault-plan`` / ``REPRO_FAULT_PLAN``),
+    ``fault_spec`` is its resolved spec; it is installed *only here*, so
+    faults fire in pool workers and never in the driving process -- the
+    quarantine / serial paths stay fault-free by construction.
     """
+    from repro.engine.faults import install_fault_plan
     from repro.runtime.compile import reset_compiled_cache
     from repro.symex.solver import reset_worker_caches, set_warm_tier_dir
 
     reset_worker_caches()
     set_warm_tier_dir(warm_tier_root)
     reset_compiled_cache()
+    install_fault_plan(dict(fault_spec) if fault_spec else None)
     _TRACE_MEMO.clear()
 
 
@@ -248,7 +257,12 @@ def execute_noop_task(payload: Mapping) -> Dict:
     :func:`pool_worker_initializer`) happens concurrently with the driver's
     cache probes instead of inside the first real task's measured latency.
     Returns an empty dict: no events, no solver snapshot, folds to nothing.
+    A fault plan targeting stage ``noop`` fires here, which is how the
+    warm-up-death recovery path is tested.
     """
+    from repro.engine.faults import maybe_inject_fault
+
+    maybe_inject_fault("noop", str(payload.get("workload", "-")))
     return {}
 
 
@@ -268,7 +282,11 @@ def execute_task(payload: Mapping) -> Dict:
     pickle it.  Returns the classified race plus the task's solver counters
     (the driving process aggregates them into ``repro.engine.stats``).
     """
+    from repro.engine.faults import maybe_inject_fault
+
     task = ClassificationTask.from_payload(payload)
+    if maybe_inject_fault("classify", task.workload, race=task.race_id) == "malformed":
+        return {"malformed": True}
     program, predicates = _resolve_program(task)
     config = PortendConfig.from_dict(task.config)
     trace = _resolve_trace(task)
@@ -333,7 +351,11 @@ def execute_record_task(payload: Mapping) -> Dict:
     from repro.record_replay.recorder import record_program_trace
     from repro.workloads import load_workload
 
+    from repro.engine.faults import maybe_inject_fault
+
     task = RecordTask.from_payload(payload)
+    if maybe_inject_fault("record", task.workload) == "malformed":
+        return {"malformed": True}
     program = task.program
     if program is None:
         program = load_workload(task.workload).program
@@ -379,7 +401,11 @@ def execute_plan_task(payload: Mapping) -> Dict:
     from repro.core.classifier import needs_multipath, run_single_stage
     from repro.explore.paths import MultiPathExplorer
 
+    from repro.engine.faults import maybe_inject_fault
+
     task = PlanTask.from_payload(payload)
+    if maybe_inject_fault("plan", task.workload, race=task.race_id) == "malformed":
+        return {"malformed": True}
     program, predicates = _resolve_program(task)
     config = PortendConfig.from_dict(task.config)
     trace = _resolve_trace(task)
@@ -471,7 +497,16 @@ def execute_path_task(payload: Mapping) -> Dict:
     from repro.core.multi_path import analyze_primary_path
     from repro.explore.paths import PrimaryPath, explore_primary
 
+    from repro.engine.faults import maybe_inject_fault
+
     task = PathTask.from_payload(payload)
+    if (
+        maybe_inject_fault(
+            "path", task.workload, race=task.race_id, path=task.path_index
+        )
+        == "malformed"
+    ):
+        return {"malformed": True}
     program, predicates = _resolve_program(task)
     config = PortendConfig.from_dict(task.config)
     trace = _resolve_trace(task)

@@ -144,6 +144,46 @@ def main(argv=None) -> int:
         "the REPRO_INTERP environment variable, else 'tree'",
     )
     parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault-injection plan for the pool workers: inline "
+        "JSON (starting with '{') or a path to a JSON file describing crash/"
+        "hang/malformed-result/corrupt-sidecar faults (see "
+        "repro.engine.faults).  Shared-run experiments only.  Defaults to "
+        "the REPRO_FAULT_PLAN environment variable, else none",
+    )
+    parser.add_argument(
+        "--max-pool-respawns",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rebuild a crashed/hung persistent pool up to N times per run "
+        "before downgrading the rest of the run to serial execution.  "
+        "Defaults to REPRO_MAX_POOL_RESPAWNS, else 2",
+    )
+    parser.add_argument(
+        "--max-task-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-execute a task that crashed its worker, missed its deadline "
+        "or returned a malformed result up to N extra times before "
+        "quarantining it (alone) to the in-driver serial path.  Defaults to "
+        "REPRO_MAX_TASK_RETRIES, else 2",
+    )
+    parser.add_argument(
+        "--task-deadline-ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help="flat per-chunk deadline for pooled tasks; an expired chunk is "
+        "cancelled, the pool respawned and the chunk retried.  0 derives "
+        "deadlines from the cost model's latency estimates (with a floor "
+        "from REPRO_DEADLINE_FLOOR_MS).  Defaults to "
+        "REPRO_TASK_DEADLINE_MS, else 0",
+    )
+    parser.add_argument(
         "--profile-top",
         type=int,
         default=25,
@@ -253,6 +293,10 @@ def main(argv=None) -> int:
             warm_tier=args.warm_tier,
             speculate=args.speculate,
             interp=args.interp,
+            fault_plan=args.fault_plan,
+            max_pool_respawns=args.max_pool_respawns,
+            max_task_retries=args.max_task_retries,
+            task_deadline_ms=args.task_deadline_ms,
         )
 
     for name in names:

@@ -62,19 +62,34 @@ def _engine(
     warm_tier: Optional[bool] = None,
     speculate: Optional[bool] = None,
     interp: Optional[str] = None,
+    fault_plan: Optional[str] = None,
+    max_pool_respawns: Optional[int] = None,
+    max_task_retries: Optional[int] = None,
+    task_deadline_ms: Optional[int] = None,
 ) -> AnalysisEngine:
     if solver is not None:
         config = replace(config or PortendConfig(), solver_backend=solver)
     if interp is not None:
         config = replace(config or PortendConfig(), interp=interp)
-    # warm_tier/speculate stay tri-state: None defers to the EngineOptions
-    # environment defaults (REPRO_WARM_TIER / REPRO_SPECULATE), an explicit
-    # bool (e.g. from the --warm-tier/--speculate CLI flags) wins over them.
+    # warm_tier/speculate -- and the fault-tolerance knobs below -- stay
+    # tri-state: None defers to the EngineOptions environment defaults
+    # (REPRO_WARM_TIER / REPRO_SPECULATE / REPRO_FAULT_PLAN /
+    # REPRO_MAX_POOL_RESPAWNS / REPRO_MAX_TASK_RETRIES /
+    # REPRO_TASK_DEADLINE_MS), an explicit value (e.g. from the CLI flags)
+    # wins over them.
     extra = {}
     if warm_tier is not None:
         extra["warm_tier"] = warm_tier
     if speculate is not None:
         extra["speculate"] = speculate
+    if fault_plan is not None:
+        extra["fault_plan"] = fault_plan
+    if max_pool_respawns is not None:
+        extra["max_pool_respawns"] = max_pool_respawns
+    if max_task_retries is not None:
+        extra["max_task_retries"] = max_task_retries
+    if task_deadline_ms is not None:
+        extra["task_deadline_ms"] = task_deadline_ms
     return AnalysisEngine(
         config=config,
         options=EngineOptions(
@@ -130,12 +145,17 @@ def analyze_workload(
     warm_tier: Optional[bool] = None,
     speculate: Optional[bool] = None,
     interp: Optional[str] = None,
+    fault_plan: Optional[str] = None,
+    max_pool_respawns: Optional[int] = None,
+    max_task_retries: Optional[int] = None,
+    task_deadline_ms: Optional[int] = None,
 ) -> WorkloadRun:
     """Run detection + classification for one workload."""
     engine = _engine(
         config, use_semantic_predicates, parallel, cache_dir, granularity,
         cache_max_entries, dispatch, solver, events, chunk_target_ms,
         warm_tier, speculate, interp,
+        fault_plan, max_pool_respawns, max_task_retries, task_deadline_ms,
     )
     engine_runs = engine.analyze_workloads([workload])
     return _wrap_runs(engine, engine_runs, use_semantic_predicates, measure_plain_time)[0]
@@ -158,6 +178,10 @@ def analyze_all(
     warm_tier: Optional[bool] = None,
     speculate: Optional[bool] = None,
     interp: Optional[str] = None,
+    fault_plan: Optional[str] = None,
+    max_pool_respawns: Optional[int] = None,
+    max_task_retries: Optional[int] = None,
+    task_deadline_ms: Optional[int] = None,
 ) -> List[WorkloadRun]:
     """Run Portend over a set of workloads (default: the full Table 1 list).
 
@@ -175,7 +199,13 @@ def analyze_all(
     solver warm tier and speculative path submission (None defers to the
     ``REPRO_WARM_TIER``/``REPRO_SPECULATE`` environment defaults);
     ``interp`` overrides the config's interpreter kernel (see
-    :mod:`repro.runtime.compile`; kernels are bit-identical by contract).
+    :mod:`repro.runtime.compile`; kernels are bit-identical by contract);
+    ``fault_plan`` installs a deterministic fault-injection plan in the pool
+    workers and ``max_pool_respawns`` / ``max_task_retries`` /
+    ``task_deadline_ms`` tune the supervision ladder that recovers from
+    worker crashes, hangs and malformed results (see
+    :mod:`repro.engine.faults` and :mod:`repro.engine.dispatch`; None
+    defers to the ``REPRO_*`` environment defaults).
     """
     if names is None:
         workloads = all_workloads(include_micro=include_micro)
@@ -185,6 +215,7 @@ def analyze_all(
         config, use_semantic_predicates, parallel, cache_dir, granularity,
         cache_max_entries, dispatch, solver, events, chunk_target_ms,
         warm_tier, speculate, interp,
+        fault_plan, max_pool_respawns, max_task_retries, task_deadline_ms,
     )
     engine_runs = engine.analyze_workloads(workloads)
     return _wrap_runs(engine, engine_runs, use_semantic_predicates, measure_plain_time)

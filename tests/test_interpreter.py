@@ -12,6 +12,7 @@ Two halves, matching the runtime work they cover:
   afterwards, with every materialization counted.
 """
 
+import dataclasses
 import random
 
 import pytest
@@ -81,10 +82,16 @@ class TestCompiledEquivalence:
                 options=EngineOptions(granularity="race"),
             )
             runs = engine.analyze(names)
-            summaries[interp] = (
-                _full_signature(runs),
-                fold_events(engine.last_run_events).summary(),
-            )
+            # Compare the folded counters minus the wall-clock fields: the
+            # overlap clocks measure real elapsed time, which pooled runs
+            # (REPRO_PARALLEL is honored here) cannot reproduce exactly.
+            folded = dataclasses.asdict(fold_events(engine.last_run_events))
+            counters = {
+                key: value
+                for key, value in folded.items()
+                if "seconds" not in key
+            }
+            summaries[interp] = (_full_signature(runs), counters)
         assert summaries["tree"] == summaries["compiled"]
 
     @pytest.mark.parametrize("seed", [0, 7])

@@ -62,7 +62,7 @@ def _shuffled_wait(pool, rng):
     """A ``concurrent.futures.wait`` stand-in that completes a random
     non-empty subset of the pending futures, in random order."""
 
-    def fake_wait(futures, return_when=None):
+    def fake_wait(futures, return_when=None, timeout=None):
         waiting = [future for future in futures if future in pool.pending]
         chosen = rng.sample(waiting, rng.randint(1, len(waiting)))
         for future in chosen:
